@@ -1,0 +1,52 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one paper table/figure, asserts its shape
+against the paper's claims, and attaches the measured headline numbers to
+``benchmark.extra_info`` so the JSON output doubles as a
+paper-vs-measured record (summarised in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.policy import VminPolicyTable
+from repro.platform.specs import xgene2_spec, xgene3_spec
+
+#: Workload length used by the evaluation benches. The paper runs one
+#: hour; these benches default to a quarter hour so the whole harness
+#: stays in CI budgets while preserving the savings structure. Override
+#: with the full 3600 s for the EXPERIMENTS.md numbers.
+EVALUATION_DURATION_S = 900.0
+EVALUATION_SEED = 42
+
+
+@pytest.fixture(scope="session")
+def spec2():
+    """X-Gene 2 spec."""
+    return xgene2_spec()
+
+
+@pytest.fixture(scope="session")
+def spec3():
+    """X-Gene 3 spec."""
+    return xgene3_spec()
+
+
+@pytest.fixture(scope="session")
+def policy2():
+    """Characterization-backed policy table for X-Gene 2."""
+    return VminPolicyTable.from_characterization(xgene2_spec())
+
+
+@pytest.fixture(scope="session")
+def policy3():
+    """Characterization-backed policy table for X-Gene 3."""
+    return VminPolicyTable.from_characterization(xgene3_spec())
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Benchmark an expensive regenerator with a single round."""
+    return benchmark.pedantic(
+        func, args=args, kwargs=kwargs, rounds=1, iterations=1
+    )

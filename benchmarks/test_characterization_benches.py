@@ -1,0 +1,88 @@
+"""Benches for the characterization artefacts: Figs. 3, 4, 5, 6 and 10."""
+
+from repro.experiments import (
+    fig3_vmin_characterization as fig3,
+    fig4_core_variation as fig4,
+    fig5_pfail as fig5,
+    fig6_droops as fig6,
+    fig10_factors as fig10,
+)
+from repro.units import ghz
+
+from conftest import run_once
+
+
+def test_fig3_vmin_characterization_xgene2(benchmark):
+    """Fig. 3 (top): the full 25-benchmark Vmin campaign on X-Gene 2."""
+    result = run_once(benchmark, fig3.run, "xgene2")
+    assert len(result.rows) == 150
+    spread = result.config_spread_mv(8, ghz(2.4))
+    assert spread <= 10
+    benchmark.extra_info["workload_spread_mv_8T_2.4GHz"] = spread
+    benchmark.extra_info["vmin_CG_8T_2.4GHz_mv"] = result.vmin_of(
+        "CG", 8, ghz(2.4)
+    )
+    benchmark.extra_info["vmin_CG_8T_0.9GHz_mv"] = result.vmin_of(
+        "CG", 8, ghz(0.9)
+    )
+
+
+def test_fig3_vmin_characterization_xgene3(benchmark):
+    """Fig. 3 (bottom): the campaign on X-Gene 3."""
+    result = run_once(benchmark, fig3.run, "xgene3")
+    assert len(result.rows) == 150
+    vmin_32t = result.vmin_of("CG", 32, ghz(3.0))
+    assert 820 <= vmin_32t <= 850  # Table II says 830 mV
+    benchmark.extra_info["vmin_CG_32T_3GHz_mv"] = vmin_32t
+    benchmark.extra_info["paper_vmin_32T_3GHz_mv"] = 830
+
+
+def test_fig4_core_variation(benchmark):
+    """Fig. 4: per-core safe regions and the robust-PMD2 pattern."""
+    result = run_once(benchmark, fig4.run, "xgene2")
+    assert result.most_robust_pmd() == 2
+    benchmark.extra_info["core_to_core_spread_mv"] = (
+        result.core_to_core_spread_mv()
+    )
+    benchmark.extra_info["workload_spread_mv"] = result.workload_spread_mv()
+    benchmark.extra_info["paper_core_spread_mv"] = 30
+    benchmark.extra_info["paper_workload_spread_mv"] = 40
+
+
+def test_fig5_pfail_curves(benchmark):
+    """Fig. 5: the pfail curves and the allocation shift."""
+    result = run_once(benchmark, fig5.run, "xgene3")
+    full = result.curve("32T")
+    spread = result.curve("16T(spreaded)")
+    clustered = result.curve("16T(clustered)")
+    assert full.safe_vmin_mv() == spread.safe_vmin_mv()
+    assert clustered.safe_vmin_mv() < full.safe_vmin_mv()
+    benchmark.extra_info["safe_vmin_32T_mv"] = full.safe_vmin_mv()
+    benchmark.extra_info["safe_vmin_16T_clustered_mv"] = (
+        clustered.safe_vmin_mv()
+    )
+
+
+def test_fig6_droop_detections(benchmark):
+    """Fig. 6: droop-rate ceiling bins per allocation."""
+    result = run_once(benchmark, fig6.run, "xgene3")
+    top = (55, 65)
+    assert min(result.rates("32T", top).values()) > 1.0
+    assert max(result.rates("16T(clustered)", top).values()) < 0.1
+    benchmark.extra_info["droops_32T_top_bin_mean"] = sum(
+        result.rates("32T", top).values()
+    ) / 25
+
+
+def test_fig10_factor_decomposition(benchmark):
+    """Fig. 10: Vmin factor magnitudes vs the paper's 1/4/3/12 %."""
+    result = benchmark(fig10.run, "xgene2")
+    measured = {k: round(100 * v, 1) for k, v in result.factors.items()}
+    benchmark.extra_info["measured_pct"] = measured
+    benchmark.extra_info["paper_pct"] = {
+        "workload": 1,
+        "core_allocation": 4,
+        "clock_skipping": 3,
+        "clock_division": 12,
+    }
+    assert abs(measured["clock_division"] - 12) <= 2

@@ -1,0 +1,117 @@
+"""Benches for the extension studies: chip variation, phases, capping."""
+
+from repro.core.powercap import CappedDaemonController, PowerCapController
+from repro.core.daemon import OnlineMonitoringDaemon
+from repro.experiments import variation_study
+from repro.platform.chip import Chip
+from repro.platform.specs import xgene2_spec, xgene3_spec
+from repro.sim.system import ServerSystem
+from repro.workloads.generator import (
+    JobSpec,
+    ServerWorkloadGenerator,
+    Workload,
+)
+
+from conftest import run_once
+
+
+def test_variation_study(benchmark):
+    """Chip-to-chip variation + the golden-die deployment trap."""
+    result = run_once(
+        benchmark,
+        variation_study.run,
+        "xgene2",
+        seeds=(0, 3, 5),
+        duration_s=1800.0,
+        workload_seed=3,
+    )
+    assert result.own_table_always_safe()
+    assert result.foreign_table_unsafe_chips() >= 1
+    benchmark.extra_info["single_core_spread_mv"] = round(
+        result.single_core_spread_mv(), 1
+    )
+    benchmark.extra_info["full_chip_spread_mv"] = round(
+        result.full_chip_spread_mv(), 1
+    )
+    benchmark.extra_info["golden_die_unsafe_on"] = (
+        result.foreign_table_unsafe_chips()
+    )
+
+
+def test_phased_workload_tracking(benchmark):
+    """The daemon tracking phase changes (Fig. 13 case b)."""
+    spec = xgene2_spec()
+    workload = Workload(
+        jobs=(
+            JobSpec(0, "setup-then-crunch", 2, 0.0),
+            JobSpec(1, "stream-compute", 1, 10.0),
+            JobSpec(2, "sawtooth", 2, 20.0),
+        ),
+        duration_s=900.0,
+        max_cores=8,
+        seed=0,
+    )
+
+    def run():
+        daemon = OnlineMonitoringDaemon(spec)
+        result = ServerSystem(Chip(spec), workload, daemon).run()
+        return result, daemon
+
+    result, daemon = run_once(benchmark, run)
+    assert result.violations == []
+    assert daemon.retunes >= 4  # several phase transitions tracked
+    benchmark.extra_info["retunes"] = daemon.retunes
+    benchmark.extra_info["violations"] = len(result.violations)
+
+
+def test_power_capping(benchmark):
+    """RAPL-style capping vs the budget-aware daemon."""
+    spec = xgene3_spec()
+    workload = ServerWorkloadGenerator(max_cores=32, seed=9).generate(
+        900.0
+    )
+    cap_w = 28.0
+
+    def run():
+        capped = ServerSystem(
+            Chip(spec), workload, PowerCapController(spec, cap_w)
+        ).run()
+        smart = ServerSystem(
+            Chip(spec), workload, CappedDaemonController(spec, cap_w)
+        ).run()
+        return capped, smart
+
+    capped, smart = run_once(benchmark, run)
+    assert smart.energy_j < capped.energy_j
+    assert smart.violations == []
+    benchmark.extra_info["capped_baseline_energy_j"] = round(
+        capped.energy_j
+    )
+    benchmark.extra_info["capped_daemon_energy_j"] = round(smart.energy_j)
+    benchmark.extra_info["daemon_saves_under_budget_pct"] = round(
+        100 * (capped.energy_j - smart.energy_j) / capped.energy_j, 1
+    )
+
+
+def test_thermal_margins(benchmark):
+    """The ambient sweep: leakage growth and the thermal guard."""
+    from repro.experiments import thermal_study
+
+    result = run_once(
+        benchmark,
+        thermal_study.run,
+        "xgene3",
+        ambients_c=(15.0, 45.0, 80.0),
+        duration_s=600.0,
+    )
+    assert result.rows[0].violations == 0
+    assert result.rows[-1].violations > 0
+    benchmark.extra_info["energy_increase_pct"] = round(
+        result.energy_increase_pct(), 1
+    )
+    benchmark.extra_info["first_unsafe_ambient_c"] = (
+        result.first_unsafe_ambient_c()
+    )
+    benchmark.extra_info["guard_needed_mv"] = [
+        round(r.guard_needed_mv, 1) for r in result.rows
+    ]

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Explore the clustered-vs-spreaded trade-off (paper Figs. 2, 6, 7).
+
+For a chosen benchmark and thread count, measures execution time, energy
+and droop behaviour under both core allocations at nominal voltage, and
+shows how the winner flips with the benchmark's memory intensity.
+
+Run:  python examples/allocation_explorer.py [benchmark] [nthreads]
+"""
+
+import sys
+
+from repro import get_benchmark, get_spec
+from repro.allocation import Allocation, utilized_pmd_count
+from repro.experiments.energy_runner import EnergyRunner
+from repro.vmin.droop import DroopModel, droop_bin
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "CG"
+    nthreads = int(sys.argv[2]) if len(sys.argv) > 2 else 4
+    spec = get_spec("xgene2")
+    profile = get_benchmark(name)
+    runner = EnergyRunner(spec)
+    droops = DroopModel(spec)
+
+    print(
+        f"{name} with {nthreads} threads on {spec.name} @ "
+        f"{spec.fmax_hz / 1e9:.1f} GHz "
+        f"(memory fraction {profile.mem_fraction:.2f})\n"
+    )
+    results = {}
+    for allocation in (Allocation.CLUSTERED, Allocation.SPREADED):
+        measured = runner.measure(
+            profile, nthreads, allocation, voltage="nominal"
+        )
+        pmds = utilized_pmd_count(spec, nthreads, allocation)
+        bin_mv = droop_bin(spec, pmds)
+        rates = droops.rates_per_mcycles(
+            pmds, activity=profile.droop_activity, workload_name=name
+        )
+        results[allocation] = measured
+        print(f"{allocation.value}:")
+        print(f"  utilized PMDs        : {pmds}")
+        print(f"  worst droop bin      : [{bin_mv[0]},{bin_mv[1]}) mV")
+        print(
+            f"  droops in that bin   : "
+            f"{rates[bin_mv]:.1f} / 1M cycles"
+        )
+        print(f"  execution time       : {measured.duration_s:.1f} s")
+        print(f"  energy (normalized)  : "
+              f"{measured.normalized_energy_j:.1f} J")
+        print(
+            f"  safe Vmin available  : "
+            f"{runner.safe_voltage_mv(profile, nthreads, allocation, spec.fmax_hz)} mV\n"
+        )
+
+    clustered = results[Allocation.CLUSTERED].normalized_energy_j
+    spreaded = results[Allocation.SPREADED].normalized_energy_j
+    diff = 100.0 * (clustered - spreaded) / clustered
+    winner = "spreaded" if diff > 0 else "clustered"
+    print(
+        f"Energy difference (Ec-Es)/Ec = {diff:+.1f}% -> {winner} wins."
+    )
+    print(
+        "Memory-intensive programs want a private L2 per thread "
+        "(spreaded); CPU-intensive programs want fewer powered PMDs "
+        "and a lower droop class (clustered)."
+    )
+
+
+if __name__ == "__main__":
+    main()

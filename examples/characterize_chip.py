@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Characterize a chip's voltage guardbands, as in paper Section III.
+
+Runs the safe-Vmin search (descend from nominal in 10 mV steps, a level
+is safe when 1000 runs pass) for a few benchmarks across thread-scaling,
+allocation and frequency options, then distils the results into the
+daemon's Table II-style policy table.
+
+Run:  python examples/characterize_chip.py [xgene2|xgene3]
+"""
+
+import sys
+
+from repro import VminCampaign, get_benchmark, get_spec
+from repro.allocation import Allocation
+from repro.core import VminPolicyTable
+from repro.experiments import table2
+from repro.units import fmt_freq
+
+
+def main() -> None:
+    platform = sys.argv[1] if len(sys.argv) > 1 else "xgene3"
+    spec = get_spec(platform)
+    campaign = VminCampaign(spec)
+    benchmarks = ("CG", "namd", "milc")
+
+    print(f"Safe-Vmin characterization of {spec.name} "
+          f"(nominal {spec.nominal_voltage_mv} mV)\n")
+    header = (
+        f"{'benchmark':<10} {'config':<22} {'safe Vmin':>10} "
+        f"{'guardband':>10}"
+    )
+    print(header)
+    print("-" * len(header))
+    for nthreads, allocation in (
+        (spec.n_cores, Allocation.CLUSTERED),
+        (spec.n_cores // 2, Allocation.SPREADED),
+        (spec.n_cores // 2, Allocation.CLUSTERED),
+    ):
+        for freq in (spec.fmax_hz, spec.half_frequency_hz):
+            for name in benchmarks:
+                profile = get_benchmark(name)
+                point = campaign.point(
+                    name,
+                    nthreads,
+                    allocation,
+                    freq,
+                    workload_delta_mv=profile.vmin_delta_mv,
+                )
+                result = campaign.measure_safe_vmin(point, mode="trials")
+                print(
+                    f"{name:<10} {point.label():<22} "
+                    f"{result.safe_vmin_mv:>8} mV "
+                    f"{result.guardband_mv:>8.0f} mV"
+                )
+
+    print("\nDistilled into the daemon's policy table (Table II):\n")
+    print(table2.run(platform, VminPolicyTable.from_characterization(
+        spec
+    )).format())
+
+
+if __name__ == "__main__":
+    main()

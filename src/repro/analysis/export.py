@@ -1,0 +1,77 @@
+"""CSV export for downstream plotting pipelines.
+
+Every experiment renders plain-text tables for the terminal; these
+helpers write the same data as CSV so the figures can be re-plotted with
+any external tool (the repository itself stays plotting-library-free).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, Sequence, Union
+
+from ..errors import ConfigurationError
+from ..sim.tracing import TimelineTrace
+
+PathLike = Union[str, Path]
+
+
+def write_csv(
+    path: PathLike,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+) -> Path:
+    """Write one table as CSV; returns the written path."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        for row in rows:
+            if len(row) != len(headers):
+                raise ConfigurationError(
+                    f"row width {len(row)} != header width {len(headers)}"
+                )
+            writer.writerow(row)
+    return target
+
+
+def trace_to_csv(path: PathLike, trace: TimelineTrace) -> Path:
+    """Export a run's timeline trace (Figs. 14/15 source data)."""
+    return write_csv(
+        path,
+        (
+            "time_s",
+            "power_w",
+            "busy_cores",
+            "running_processes",
+            "cpu_intensive",
+            "memory_intensive",
+            "voltage_mv",
+            "mean_active_freq_hz",
+        ),
+        (
+            (
+                s.time_s,
+                s.power_w,
+                s.busy_cores,
+                s.running_processes,
+                s.cpu_intensive,
+                s.memory_intensive,
+                s.voltage_mv,
+                s.mean_active_freq_hz,
+            )
+            for s in trace.samples
+        ),
+    )
+
+
+def series_to_csv(
+    path: PathLike,
+    pairs: Iterable[Sequence[object]],
+    x_label: str = "x",
+    y_label: str = "y",
+) -> Path:
+    """Export an (x, y) series."""
+    return write_csv(path, (x_label, y_label), pairs)

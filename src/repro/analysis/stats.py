@@ -1,0 +1,68 @@
+"""Small statistics helpers used across experiments and tests."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List
+
+from ..errors import ConfigurationError
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values."""
+    data = list(values)
+    if not data:
+        raise ConfigurationError("geometric mean of empty sequence")
+    if any(v <= 0 for v in data):
+        raise ConfigurationError("geometric mean needs positive values")
+    return math.exp(sum(math.log(v) for v in data) / len(data))
+
+
+def mean(values: Iterable[float]) -> float:
+    """Arithmetic mean."""
+    data = list(values)
+    if not data:
+        raise ConfigurationError("mean of empty sequence")
+    return sum(data) / len(data)
+
+
+def span(values: Iterable[float]) -> float:
+    """max - min of a sequence."""
+    data = list(values)
+    if not data:
+        raise ConfigurationError("span of empty sequence")
+    return max(data) - min(data)
+
+
+def relative_error(measured: float, reference: float) -> float:
+    """|measured - reference| / |reference|."""
+    if reference == 0:
+        raise ConfigurationError("reference must be non-zero")
+    return abs(measured - reference) / abs(reference)
+
+
+def within(measured: float, reference: float, tolerance: float) -> bool:
+    """True when measured is within ``tolerance`` (relative) of reference."""
+    return relative_error(measured, reference) <= tolerance
+
+
+def compare_to_paper(
+    measured: Dict[str, float],
+    paper: Dict[str, float],
+) -> List[Dict[str, float]]:
+    """Side-by-side comparison rows for EXPERIMENTS.md-style reports."""
+    rows = []
+    for key in paper:
+        if key not in measured:
+            raise ConfigurationError(f"missing measurement for {key!r}")
+        rows.append(
+            {
+                "metric": key,
+                "paper": paper[key],
+                "measured": measured[key],
+                "rel_err": relative_error(measured[key], paper[key])
+                if paper[key]
+                else 0.0,
+            }
+        )
+    return rows

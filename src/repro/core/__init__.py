@@ -1,0 +1,66 @@
+"""The paper's primary contribution: the online monitoring daemon.
+
+Classification (monitoring), placement, V/F policy and the four
+evaluation configurations (Baseline / Safe-Vmin / Placement / Optimal).
+"""
+
+from .classifier import (
+    DEFAULT_THRESHOLD,
+    ClassificationSample,
+    L3RateClassifier,
+)
+from .configurations import (
+    CONFIG_NAMES,
+    ConfigurationRow,
+    EvaluationResult,
+    make_controller,
+    run_configuration,
+    run_evaluation,
+)
+from .daemon import (
+    DEFAULT_MONITOR_PERIOD_S,
+    OnlineMonitoringDaemon,
+    SafeVminController,
+)
+from .monitoring import (
+    MIN_WINDOW_CYCLES,
+    ClassChange,
+    MonitoringDaemon,
+    PerfLikeReader,
+    kernel_module_reader,
+)
+from .powercap import CappedDaemonController, PowerCapController
+from .placement import (
+    PlacementEngine,
+    PlacementPlan,
+    default_memory_frequency_hz,
+)
+from .policy import DEFAULT_GUARD_MV, PolicyEntry, VminPolicyTable
+
+__all__ = [
+    "CONFIG_NAMES",
+    "ClassChange",
+    "CappedDaemonController",
+    "ClassificationSample",
+    "ConfigurationRow",
+    "DEFAULT_GUARD_MV",
+    "DEFAULT_MONITOR_PERIOD_S",
+    "DEFAULT_THRESHOLD",
+    "EvaluationResult",
+    "L3RateClassifier",
+    "MIN_WINDOW_CYCLES",
+    "MonitoringDaemon",
+    "OnlineMonitoringDaemon",
+    "PerfLikeReader",
+    "PowerCapController",
+    "PlacementEngine",
+    "PlacementPlan",
+    "PolicyEntry",
+    "SafeVminController",
+    "VminPolicyTable",
+    "default_memory_frequency_hz",
+    "kernel_module_reader",
+    "make_controller",
+    "run_configuration",
+    "run_evaluation",
+]

@@ -1,0 +1,167 @@
+"""The four evaluation configurations of Section VI.B.
+
+* **baseline** — default machine: spread scheduler, ``ondemand``
+  governor, nominal voltage;
+* **safe_vmin** — baseline plus the rail trimmed to the characterized
+  safe Vmin of the moment (guardband exposure only);
+* **placement** — the daemon drives core allocation and per-PMD clocks,
+  rail pinned at nominal (placement value only);
+* **optimal** — the full daemon: placement, clocks and voltage.
+
+:func:`run_evaluation` replays one generated workload under all four and
+summarises them the way the paper's Tables III and IV do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from ..platform.chip import Chip
+from ..platform.specs import ChipSpec, get_spec
+from ..power.energy import penalty_percent, savings_percent
+from ..sim.controllers import BaselineController
+from ..sim.system import Controller, ServerSystem, SystemResult
+from ..workloads.generator import ServerWorkloadGenerator, Workload
+from .daemon import OnlineMonitoringDaemon, SafeVminController
+from .policy import VminPolicyTable
+
+#: Configuration names in the paper's table order.
+CONFIG_NAMES: Tuple[str, ...] = (
+    "baseline", "safe_vmin", "placement", "optimal"
+)
+
+
+def make_controller(
+    spec: ChipSpec,
+    config: str,
+    policy: Optional[VminPolicyTable] = None,
+) -> Controller:
+    """Build the controller implementing one named configuration."""
+    if config == "baseline":
+        return BaselineController()
+    if config == "safe_vmin":
+        return SafeVminController(spec, policy=policy)
+    if config == "placement":
+        return OnlineMonitoringDaemon(
+            spec, control_voltage=False, policy=policy
+        )
+    if config == "optimal":
+        return OnlineMonitoringDaemon(
+            spec, control_voltage=True, policy=policy
+        )
+    raise ConfigurationError(
+        f"unknown configuration {config!r}; known: {CONFIG_NAMES}"
+    )
+
+
+def run_configuration(
+    platform: str,
+    workload: Workload,
+    config: str,
+    silicon_seed: int = 0,
+    policy: Optional[VminPolicyTable] = None,
+    trace_period_s: Optional[float] = 1.0,
+    fault_policy: str = "record",
+) -> SystemResult:
+    """Replay one workload under one configuration on a fresh chip."""
+    spec = get_spec(platform)
+    chip = Chip(spec, silicon_seed=silicon_seed)
+    controller = make_controller(spec, config, policy=policy)
+    system = ServerSystem(
+        chip,
+        workload,
+        controller=controller,
+        trace_period_s=trace_period_s,
+        fault_policy=fault_policy,
+    )
+    return system.run()
+
+
+@dataclass(frozen=True)
+class ConfigurationRow:
+    """One column of Tables III/IV."""
+
+    config: str
+    time_s: float
+    average_power_w: float
+    energy_j: float
+    energy_savings_pct: float
+    ed2p: float
+    ed2p_savings_pct: float
+    time_penalty_pct: float
+    violations: int
+
+
+@dataclass
+class EvaluationResult:
+    """All four configurations on one workload (one paper table)."""
+
+    platform: str
+    workload: Workload
+    results: Dict[str, SystemResult]
+
+    def row(self, config: str) -> ConfigurationRow:
+        """Summary row for one configuration, relative to the baseline."""
+        if config not in self.results:
+            raise ConfigurationError(f"no result for {config!r}")
+        base = self.results["baseline"]
+        res = self.results[config]
+        return ConfigurationRow(
+            config=config,
+            time_s=res.makespan_s,
+            average_power_w=res.average_power_w,
+            energy_j=res.energy_j,
+            energy_savings_pct=savings_percent(base.energy_j, res.energy_j),
+            ed2p=res.ed2p,
+            ed2p_savings_pct=savings_percent(base.ed2p, res.ed2p),
+            time_penalty_pct=penalty_percent(
+                base.makespan_s, res.makespan_s
+            ),
+            violations=len(res.violations),
+        )
+
+    def rows(self) -> List[ConfigurationRow]:
+        """All rows, in the paper's column order."""
+        return [self.row(c) for c in CONFIG_NAMES if c in self.results]
+
+
+def run_evaluation(
+    platform: str,
+    duration_s: float = 3600.0,
+    seed: int = 0,
+    silicon_seed: int = 0,
+    configs: Sequence[str] = CONFIG_NAMES,
+    trace_period_s: Optional[float] = 1.0,
+    workload: Optional[Workload] = None,
+) -> EvaluationResult:
+    """Generate one workload and replay it under several configurations.
+
+    This regenerates the paper's Tables III (X-Gene 2) and IV (X-Gene 3):
+    one random server workload per machine, executed under every
+    configuration with identical job arrivals.
+    """
+    spec = get_spec(platform)
+    if workload is None:
+        generator = ServerWorkloadGenerator(max_cores=spec.n_cores, seed=seed)
+        workload = generator.generate(duration_s)
+    if "baseline" not in configs:
+        raise ConfigurationError(
+            "the evaluation needs the baseline for relative savings"
+        )
+    policy = VminPolicyTable.from_characterization(spec)
+    results = {
+        config: run_configuration(
+            platform,
+            workload,
+            config,
+            silicon_seed=silicon_seed,
+            policy=policy,
+            trace_period_s=trace_period_s,
+        )
+        for config in configs
+    }
+    return EvaluationResult(
+        platform=spec.name, workload=workload, results=results
+    )

@@ -1,0 +1,165 @@
+"""The online monitoring daemon (Section VI.A, Fig. 13).
+
+This is the paper's primary contribution: a lightweight userspace daemon
+that (a) watches every running process's L3C access rate through PMU
+counters and classifies it as CPU- or memory-intensive, and (b) guides
+placement, per-PMD clocks and the shared rail voltage accordingly.
+
+The daemon is implemented as a :class:`~repro.sim.system.Controller`, so
+it plugs into the simulated server exactly where a real daemon plugs into
+Linux: it reacts to process arrivals and exits (full replacement — the
+only points where utilized PMDs may change) and to classification flips
+(clock/voltage retune only), and runs its monitor pass periodically
+(300-500 ms wall time per one-million-cycle window).
+
+Every actuation follows the fail-safe protocol: the rail goes *up* to a
+level safe for both the old and new configurations before anything else
+moves, and settles down only after the reconfiguration completed. The
+daemon never predicts Vmin — it only replays the characterization table.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..platform.specs import ChipSpec
+from ..sim.governor import OndemandGovernor
+from ..sim.process import SimProcess
+from ..sim.system import Controller
+from .classifier import L3RateClassifier
+from .monitoring import CounterReader, MonitoringDaemon
+from .placement import PlacementEngine
+from .policy import VminPolicyTable
+
+#: Default monitor period, seconds (Section VI.A: 300-500 ms).
+DEFAULT_MONITOR_PERIOD_S = 0.4
+
+
+class OnlineMonitoringDaemon(Controller):
+    """Monitoring + placement daemon driving one simulated server.
+
+    ``control_voltage=True`` gives the paper's *Optimal* configuration;
+    ``control_voltage=False`` gives *Placement* (frequency and core
+    allocation only, rail pinned at nominal).
+    """
+
+    def __init__(
+        self,
+        spec: ChipSpec,
+        control_voltage: bool = True,
+        policy: Optional[VminPolicyTable] = None,
+        engine: Optional[PlacementEngine] = None,
+        monitor: Optional[MonitoringDaemon] = None,
+        classifier: Optional[L3RateClassifier] = None,
+        reader: Optional[CounterReader] = None,
+        monitor_period_s: float = DEFAULT_MONITOR_PERIOD_S,
+    ):
+        super().__init__()
+        self.spec = spec
+        self.control_voltage = control_voltage
+        self.policy = policy or VminPolicyTable.from_characterization(spec)
+        self.engine = engine or PlacementEngine(
+            spec, policy=self.policy, control_voltage=control_voltage
+        )
+        self.monitor = monitor or MonitoringDaemon(
+            classifier=classifier, reader=reader
+        )
+        self.monitor_period_s = monitor_period_s
+        self.replans = 0
+        self.retunes = 0
+
+    # -- controller hooks ---------------------------------------------------------
+
+    def on_start(self) -> None:
+        """Park the idle machine: clock floors, lowest safe rail level."""
+        self._replan()
+
+    def place(self, process: SimProcess) -> Optional[Tuple[int, ...]]:
+        """Fail-safe pre-invocation step: raise the rail, then let the
+        default scheduler drop the process anywhere free — the immediate
+        replan in :meth:`on_process_started` moves it to its proper slot.
+        """
+        self.engine.raise_for_arrival(self.system, process.nthreads)
+        return None
+
+    def on_process_started(self, process: SimProcess) -> None:
+        """Full replacement: arrivals may change the utilized PMDs."""
+        self._replan()
+
+    def on_process_finished(self, process: SimProcess) -> None:
+        """Full replacement: exits may change the utilized PMDs."""
+        self.monitor.forget(process)
+        self._replan()
+
+    def on_tick(self) -> None:
+        """Monitor pass; on classification flips, retune V/F in place.
+
+        Fig. 13's case (b): utilized PMDs cannot change here, so threads
+        stay put and only clocks and the rail move.
+        """
+        changes = self.monitor.sample(self.system)
+        if changes:
+            plan = self.engine.retune(self.system.running_processes())
+            self.engine.apply(self.system, plan)
+            self.retunes += 1
+
+    # -- internals ------------------------------------------------------------------
+
+    def _replan(self) -> None:
+        plan = self.engine.plan(self.system.running_processes())
+        self.engine.apply(self.system, plan)
+        self.replans += 1
+
+
+class SafeVminController(Controller):
+    """The evaluation's *Safe Vmin* configuration (Section VI.B).
+
+    Default scheduler and ``ondemand`` governor, but the rail follows the
+    characterized safe Vmin of the current utilized-PMD count and top
+    clock instead of sitting at nominal — isolating the value of the
+    exposed voltage guardband alone.
+    """
+
+    def __init__(
+        self,
+        spec: ChipSpec,
+        policy: Optional[VminPolicyTable] = None,
+        governor: Optional[OndemandGovernor] = None,
+    ):
+        super().__init__()
+        self.spec = spec
+        self.policy = policy or VminPolicyTable.from_characterization(spec)
+        self.governor = governor or OndemandGovernor()
+
+    def on_start(self) -> None:
+        """Park the clocks and settle the rail for the idle machine."""
+        self.governor.apply(self.system.chip, self.system.now)
+        self._settle_voltage()
+
+    def place(self, process: SimProcess) -> Optional[Tuple[int, ...]]:
+        """Fail-safe pre-invocation raise, then default placement."""
+        state = self.system.chip.state()
+        worst_pmds = min(
+            self.spec.n_pmds, len(state.active_pmds) + process.nthreads
+        )
+        required = self.policy.safe_voltage_mv(worst_pmds, self.spec.fmax_hz)
+        if required > self.system.chip.voltage_mv:
+            self.system.set_voltage(required)
+        return None
+
+    def on_process_started(self, process: SimProcess) -> None:
+        """Governor reacts, then the rail settles to the new safe level."""
+        self.governor.apply(self.system.chip, self.system.now)
+        self._settle_voltage()
+
+    def on_process_finished(self, process: SimProcess) -> None:
+        """Governor reacts, then the rail settles to the new safe level."""
+        self.governor.apply(self.system.chip, self.system.now)
+        self._settle_voltage()
+
+    def _settle_voltage(self) -> None:
+        state = self.system.chip.state()
+        required = self.policy.safe_voltage_mv(
+            max(1, len(state.active_pmds)), state.max_active_frequency()
+        )
+        self.system.set_voltage(required)

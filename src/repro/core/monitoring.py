@@ -1,0 +1,131 @@
+"""The monitoring half of the online daemon (Section VI.A).
+
+The monitor is a watchdog that periodically reads per-process performance
+counters (through the paper's zero-overhead kernel-module path, or a
+noisy perf-like path for the measurement ablation), computes each
+process's L3C access rate over a window of at least one million cycles,
+and (re)classifies the process. It also reports the currently utilized
+PMDs, which determine the droop class the placement half must respect.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..errors import ConfigurationError
+from ..sim.process import SimProcess, WorkloadClass
+from ..sim.system import ServerSystem
+from .classifier import ClassificationSample, L3RateClassifier
+
+#: Minimum cycle window between two classification reads (Section VI.A:
+#: the daemon counts L3C accesses during one million cycles).
+MIN_WINDOW_CYCLES = 1_000_000
+
+#: Reads (cycles, l3_accesses) of a process; replaceable for noise models.
+CounterReader = Callable[[SimProcess], Tuple[float, float]]
+
+
+def kernel_module_reader(process: SimProcess) -> Tuple[float, float]:
+    """Exact counter read (the paper's kernel-module path)."""
+    return process.counters.cycles, process.counters.l3_accesses
+
+
+class PerfLikeReader:
+    """Counter reads with ±``noise`` relative error (perf/PAPI path).
+
+    Section VI.A motivates the kernel module with the ±3 % overhead of
+    perf-style tooling; this reader exists so the measurement-noise
+    ablation can quantify the misclassifications that noise causes near
+    the 3 K threshold.
+    """
+
+    def __init__(self, noise: float = 0.03, seed: int = 0):
+        if not 0.0 <= noise < 1.0:
+            raise ConfigurationError("noise must be in [0, 1)")
+        self._noise = noise
+        self._rng = random.Random(seed)
+
+    def __call__(self, process: SimProcess) -> Tuple[float, float]:
+        def jitter(value: float) -> float:
+            return value * (
+                1.0 + self._rng.uniform(-self._noise, self._noise)
+            )
+
+        return (
+            jitter(process.counters.cycles),
+            jitter(process.counters.l3_accesses),
+        )
+
+
+@dataclass(frozen=True)
+class ClassChange:
+    """One process whose class flipped during a monitor pass."""
+
+    process: SimProcess
+    sample: ClassificationSample
+
+
+class MonitoringDaemon:
+    """Watchdog half of the daemon: classify processes, track PMDs."""
+
+    def __init__(
+        self,
+        classifier: Optional[L3RateClassifier] = None,
+        reader: Optional[CounterReader] = None,
+        min_window_cycles: float = MIN_WINDOW_CYCLES,
+    ):
+        if min_window_cycles <= 0:
+            raise ConfigurationError("window must be positive")
+        self.classifier = classifier or L3RateClassifier()
+        self.reader: CounterReader = reader or kernel_module_reader
+        self.min_window_cycles = min_window_cycles
+        #: pid -> counters at the last classification read.
+        self._snapshots: Dict[int, Tuple[float, float]] = {}
+        self.samples_taken = 0
+
+    def forget(self, process: SimProcess) -> None:
+        """Drop state for a finished process."""
+        self._snapshots.pop(process.pid, None)
+
+    def sample(self, system: ServerSystem) -> List[ClassChange]:
+        """One monitor pass: classify every running process.
+
+        A process is (re)classified only once its cycle counter advanced
+        by at least the window since the previous read — the hardware
+        protocol of two counter reads one million cycles apart.
+        Returns the processes whose class changed.
+        """
+        changes: List[ClassChange] = []
+        for process in system.running_processes():
+            cycles, accesses = self.reader(process)
+            previous = self._snapshots.get(process.pid)
+            if previous is None:
+                self._snapshots[process.pid] = (cycles, accesses)
+                continue
+            dcycles = cycles - previous[0]
+            if dcycles < self.min_window_cycles * process.nthreads:
+                continue
+            daccesses = max(0.0, accesses - previous[1])
+            rate = 1e6 * daccesses / dcycles
+            self._snapshots[process.pid] = (cycles, accesses)
+            self.samples_taken += 1
+            sample = self.classifier.classify(rate, process.observed_class)
+            if sample.decided is not process.observed_class:
+                was_known = (
+                    process.observed_class is not WorkloadClass.UNKNOWN
+                )
+                process.observed_class = sample.decided
+                if was_known or sample.decided is not WorkloadClass.CPU_INTENSIVE:
+                    changes.append(ClassChange(process, sample))
+                elif sample.decided is WorkloadClass.CPU_INTENSIVE:
+                    # UNKNOWN -> CPU is not a behavioural change: new
+                    # processes are already treated as CPU-intensive
+                    # (the fail-safe default of Fig. 13).
+                    continue
+        return changes
+
+    def utilized_pmds(self, system: ServerSystem) -> int:
+        """Number of PMDs with at least one running thread."""
+        return len(system.chip.utilized_pmds)

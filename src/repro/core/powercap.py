@@ -1,0 +1,199 @@
+"""DVFS-based power capping (paper Section I's power-management context).
+
+The paper motivates its work with the rise of power capping: "the ability
+to cap peak power consumption has recently gained strong interest ...
+power capping is realized through power-performance knobs such as DVFS,
+pipeline throttling or memory throttling" (citing RAPL and
+warehouse-scale provisioning). This module provides that substrate: a
+controller that watches the platform's energy meter the way RAPL watches
+its energy counters and throttles the clocks to keep average power under
+a budget.
+
+Two variants:
+
+* :class:`PowerCapController` — capping on an otherwise stock machine
+  (ondemand base policy, nominal voltage);
+* :class:`CappedDaemonController` — the paper's Optimal daemon with a
+  power cap layered on top: the daemon picks placement/V/F, the capper
+  clamps a maximum frequency that the placement engine then respects.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..errors import ConfigurationError
+from ..platform.specs import ChipSpec
+from ..sim.governor import OndemandGovernor
+from ..sim.process import SimProcess
+from ..sim.system import Controller
+from .daemon import OnlineMonitoringDaemon
+from .placement import PlacementEngine
+from .policy import VminPolicyTable
+
+
+class _WindowPowerMeter:
+    """Average power over the last control window, read like RAPL."""
+
+    def __init__(self) -> None:
+        self._last_energy_j = 0.0
+        self._last_time_s = 0.0
+
+    def read(self, system) -> Optional[float]:
+        """Average power since the previous read; None on a zero window."""
+        energy = system.meter.energy_j
+        now = system.now
+        dt = now - self._last_time_s
+        if dt <= 0:
+            return None
+        power = (energy - self._last_energy_j) / dt
+        self._last_energy_j = energy
+        self._last_time_s = now
+        return power
+
+
+class PowerCapController(Controller):
+    """Keep average power under a budget by clamping the clock ceiling.
+
+    Every control window the measured window-average power is compared
+    against the cap: above it, the ceiling steps down one frequency step
+    (and every busy PMD is clamped); comfortably below it, the ceiling
+    steps back up. This is the classic RAPL-style outer loop realized
+    purely through DVFS.
+    """
+
+    def __init__(
+        self,
+        spec: ChipSpec,
+        cap_w: float,
+        window_s: float = 0.5,
+        release_margin: float = 0.9,
+    ):
+        super().__init__()
+        if cap_w <= 0:
+            raise ConfigurationError("power cap must be positive")
+        if not 0.0 < release_margin < 1.0:
+            raise ConfigurationError("release margin must be in (0, 1)")
+        self.spec = spec
+        self.cap_w = cap_w
+        self.release_margin = release_margin
+        self.monitor_period_s = window_s
+        self.governor = OndemandGovernor()
+        self._meter = _WindowPowerMeter()
+        self._steps: List[int] = list(spec.frequency_steps())
+        self._ceiling_index = len(self._steps) - 1
+        self.throttle_events = 0
+        self.release_events = 0
+
+    @property
+    def ceiling_hz(self) -> int:
+        """Current maximum clock the capper allows."""
+        return self._steps[self._ceiling_index]
+
+    def on_start(self) -> None:
+        """Start at the governor's defaults."""
+        self.governor.apply(self.system.chip, self.system.now)
+        self._apply_ceiling()
+
+    def on_process_started(self, process: SimProcess) -> None:
+        """Re-run the base governor, then clamp."""
+        self.governor.apply(self.system.chip, self.system.now)
+        self._apply_ceiling()
+
+    def on_process_finished(self, process: SimProcess) -> None:
+        """Re-run the base governor, then clamp."""
+        self.governor.apply(self.system.chip, self.system.now)
+        self._apply_ceiling()
+
+    def on_tick(self) -> None:
+        """RAPL-style control step on the window-average power."""
+        power = self._meter.read(self.system)
+        if power is None:
+            return
+        if power > self.cap_w and self._ceiling_index > 0:
+            self._ceiling_index -= 1
+            self.throttle_events += 1
+            self._apply_ceiling()
+        elif (
+            power < self.cap_w * self.release_margin
+            and self._ceiling_index < len(self._steps) - 1
+        ):
+            self._ceiling_index += 1
+            self.release_events += 1
+            self._apply_ceiling()
+
+    def _apply_ceiling(self) -> None:
+        chip = self.system.chip
+        ceiling = self.ceiling_hz
+        for pmd in range(self.spec.n_pmds):
+            if chip.cppc.frequency_of(pmd) > ceiling:
+                self.system.set_pmd_frequency(pmd, ceiling)
+
+
+class CappedDaemonController(OnlineMonitoringDaemon):
+    """The paper's Optimal daemon under a power budget.
+
+    The capper's ceiling becomes the placement engine's CPU clock, so
+    CPU-intensive PMDs run as fast as the budget allows while the
+    memory-intensive PMDs keep their (already lower) energy clock, and
+    the rail keeps tracking the safe Vmin of whatever is configured.
+    """
+
+    def __init__(
+        self,
+        spec: ChipSpec,
+        cap_w: float,
+        policy: Optional[VminPolicyTable] = None,
+        window_s: float = 0.5,
+        release_margin: float = 0.9,
+    ):
+        super().__init__(spec, control_voltage=True, policy=policy,
+                         monitor_period_s=window_s)
+        if cap_w <= 0:
+            raise ConfigurationError("power cap must be positive")
+        self.cap_w = cap_w
+        self.release_margin = release_margin
+        self._meter = _WindowPowerMeter()
+        self._steps: List[int] = [
+            f for f in spec.frequency_steps() if f >= self.engine.mem_freq_hz
+        ]
+        self._ceiling_index = len(self._steps) - 1
+        self.throttle_events = 0
+        self.release_events = 0
+
+    @property
+    def ceiling_hz(self) -> int:
+        """Current maximum clock the capper allows."""
+        return self._steps[self._ceiling_index]
+
+    def on_tick(self) -> None:
+        """Daemon monitoring plus the capping control step."""
+        super().on_tick()
+        power = self._meter.read(self.system)
+        if power is None:
+            return
+        changed = False
+        if power > self.cap_w and self._ceiling_index > 0:
+            self._ceiling_index -= 1
+            self.throttle_events += 1
+            changed = True
+        elif (
+            power < self.cap_w * self.release_margin
+            and self._ceiling_index < len(self._steps) - 1
+        ):
+            self._ceiling_index += 1
+            self.release_events += 1
+            changed = True
+        if changed:
+            self._rebuild_engine()
+            plan = self.engine.retune(self.system.running_processes())
+            self.engine.apply(self.system, plan)
+
+    def _rebuild_engine(self) -> None:
+        self.engine = PlacementEngine(
+            self.spec,
+            policy=self.policy,
+            control_voltage=self.control_voltage,
+            cpu_freq_hz=self.ceiling_hz,
+            mem_freq_hz=min(self.engine.mem_freq_hz, self.ceiling_hz),
+        )

@@ -1,0 +1,71 @@
+"""Experiment regenerators: one module per paper table and figure.
+
+| Module | Paper artefact |
+|---|---|
+| ``table1`` | Table I — platform parameters |
+| ``fig3_vmin_characterization`` | Fig. 3 — safe-Vmin campaign |
+| ``fig4_core_variation`` | Fig. 4 — single/two-core regions |
+| ``fig5_pfail`` | Fig. 5 — failure probability curves |
+| ``fig6_droops`` | Fig. 6 — droop detections per bin |
+| ``fig7_allocation_energy`` | Fig. 7 — clustered vs spreaded energy |
+| ``fig8_contention`` | Fig. 8 — full-chip contention ratios |
+| ``fig9_l3c_rates`` | Fig. 9 — L3C access rates + threshold |
+| ``fig10_factors`` | Fig. 10 — Vmin factor decomposition |
+| ``fig11_energy`` | Fig. 11 — energy across configurations |
+| ``fig12_ed2p`` | Fig. 12 — ED2P across configurations |
+| ``table2`` | Table II — droop classes and safe Vmin |
+| ``fig13_flow`` | Fig. 13 — traced daemon decision flow |
+| ``fig14_power_timeline`` | Fig. 14 — Baseline vs Optimal power |
+| ``fig15_load_timeline`` | Fig. 15 — load and process classes |
+| ``tables34`` | Tables III/IV — four-configuration evaluation |
+| ``variation_study`` | extension: chip-to-chip variation & golden-die risk |
+| ``thermal_study`` | extension: junction temperature, leakage, thermal guard |
+"""
+
+from . import (
+    fig3_vmin_characterization,
+    fig13_flow,
+    fig4_core_variation,
+    fig5_pfail,
+    fig6_droops,
+    fig7_allocation_energy,
+    fig8_contention,
+    fig9_l3c_rates,
+    fig10_factors,
+    fig11_energy,
+    fig12_ed2p,
+    fig14_power_timeline,
+    fig15_load_timeline,
+    report,
+    table1,
+    table2,
+    tables34,
+    thermal_study,
+    variation_study,
+)
+from .energy_runner import CAMPAIGN_STEP_MV, EnergyRunner, RunMeasurement
+
+__all__ = [
+    "CAMPAIGN_STEP_MV",
+    "EnergyRunner",
+    "RunMeasurement",
+    "fig13_flow",
+    "fig3_vmin_characterization",
+    "fig4_core_variation",
+    "fig5_pfail",
+    "fig6_droops",
+    "fig7_allocation_energy",
+    "fig8_contention",
+    "fig9_l3c_rates",
+    "fig10_factors",
+    "fig11_energy",
+    "fig12_ed2p",
+    "fig14_power_timeline",
+    "fig15_load_timeline",
+    "report",
+    "table1",
+    "table2",
+    "tables34",
+    "thermal_study",
+    "variation_study",
+]

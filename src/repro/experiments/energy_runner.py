@@ -1,0 +1,192 @@
+"""Analytic single-job measurement: one benchmark at one operating point.
+
+The paper's Section V measurements (Figs. 7, 11, 12) run one benchmark at
+a time on an otherwise idle machine, at a chosen thread count, core
+allocation, frequency and voltage, and record execution time and energy.
+On an idle machine the fluid model is closed-form, so these measurements
+need no event simulation: duration comes straight from the performance
+model and power from one evaluation of the power model.
+
+Voltage modes:
+
+* ``nominal`` — the stock rail (how Fig. 7's allocation comparison runs);
+* ``safe`` — the configuration's characterized safe Vmin, quantized to
+  the campaign's 10 mV step (how the Figs. 11/12 energy study runs:
+  every V/f combination is taken at its own safe Vmin).
+
+SPEC-style replicated runs report a per-instance normalized energy next
+to the raw one (Section II.B's fairness rule).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..allocation import Allocation, cores_for
+from ..errors import ConfigurationError
+from ..perf.contention import (
+    bandwidth_utilization,
+    contention_factor,
+)
+from ..perf.model import bandwidth_demand_gbs, execution_state
+from ..platform.chip import ChipState
+from ..platform.specs import ChipSpec
+from ..power.energy import ed2p
+from ..power.model import PowerModel
+from ..vmin.model import VminModel
+from ..workloads.profiles import BenchmarkProfile
+
+#: Voltage-sweep step of the characterization campaigns, mV.
+CAMPAIGN_STEP_MV = 10
+
+
+@dataclass(frozen=True)
+class RunMeasurement:
+    """Time/energy measurement of one benchmark configuration."""
+
+    benchmark: str
+    nthreads: int
+    allocation: Allocation
+    freq_hz: int
+    voltage_mv: int
+    duration_s: float
+    energy_j: float
+    #: Energy normalized per instance for replicated (SPEC) runs;
+    #: equals ``energy_j`` for parallel programs.
+    normalized_energy_j: float
+
+    @property
+    def average_power_w(self) -> float:
+        """Mean power over the run."""
+        return self.energy_j / self.duration_s
+
+    @property
+    def ed2p(self) -> float:
+        """ED2P on the normalized energy (the paper's Fig. 12 metric)."""
+        return ed2p(self.normalized_energy_j, self.duration_s)
+
+
+class EnergyRunner:
+    """Measures benchmarks on an idle machine at fixed operating points."""
+
+    def __init__(
+        self,
+        spec: ChipSpec,
+        power_model: Optional[PowerModel] = None,
+        vmin_model: Optional[VminModel] = None,
+    ):
+        self.spec = spec
+        self.power_model = power_model or PowerModel(spec)
+        self.vmin_model = vmin_model or VminModel(spec)
+
+    def safe_voltage_mv(
+        self,
+        profile: BenchmarkProfile,
+        nthreads: int,
+        allocation: Allocation,
+        freq_hz: int,
+    ) -> int:
+        """Characterized safe Vmin of the configuration, stepped up.
+
+        This is what the campaign of Section III.A would report: the true
+        Vmin rounded up to the 10 mV sweep step.
+        """
+        cores = cores_for(self.spec, nthreads, allocation)
+        true_vmin = self.vmin_model.safe_vmin_mv(
+            freq_hz, cores, profile.vmin_delta_mv
+        )
+        stepped = int(-(-true_vmin // CAMPAIGN_STEP_MV) * CAMPAIGN_STEP_MV)
+        return min(stepped, self.spec.nominal_voltage_mv)
+
+    def measure(
+        self,
+        profile: BenchmarkProfile,
+        nthreads: int,
+        allocation: Allocation,
+        freq_hz: Optional[int] = None,
+        voltage: str = "safe",
+    ) -> RunMeasurement:
+        """Measure one configuration on an otherwise idle machine."""
+        if voltage not in ("safe", "nominal"):
+            raise ConfigurationError(f"unknown voltage mode {voltage!r}")
+        freq = self.spec.nearest_frequency(
+            freq_hz if freq_hz is not None else self.spec.fmax_hz
+        )
+        cores = cores_for(self.spec, nthreads, allocation)
+        pmds = sorted({self.spec.pmd_of_core(c) for c in cores})
+        # A thread shares its PMD when any PMD holds two of the job's
+        # threads (clustered runs, or spreaded runs past n_pmds threads).
+        shares = any(
+            sum(1 for c in cores if self.spec.pmd_of_core(c) == p) > 1
+            for p in pmds
+        )
+        demand = bandwidth_demand_gbs(profile, self.spec, freq)
+        demands = [demand] * nthreads
+        crowd = contention_factor(self.spec, demands)
+        exec_state = execution_state(
+            profile,
+            self.spec,
+            freq,
+            nthreads=nthreads,
+            shares_pmd=shares,
+            contention=crowd,
+        )
+        if voltage == "nominal":
+            voltage_mv = self.spec.nominal_voltage_mv
+        else:
+            voltage_mv = self.safe_voltage_mv(
+                profile, nthreads, allocation, freq
+            )
+        # The characterization protocol sets the *chip-wide* frequency for
+        # a run (Section II.B); idle PMDs stay at the test clock and only
+        # benefit from automatic clock gating in the power model.
+        freqs = (freq,) * self.spec.n_pmds
+        state = ChipState(
+            spec=self.spec,
+            voltage_mv=voltage_mv,
+            pmd_frequencies_hz=freqs,
+            active_cores=frozenset(cores),
+        )
+        activity = {c: exec_state.effective_activity for c in cores}
+        power = self.power_model.chip_power(
+            state, activity, bandwidth_utilization(self.spec, demands)
+        ).total_w
+        duration = exec_state.duration_s
+        energy = power * duration
+        normalized = energy if profile.parallel else energy / nthreads
+        return RunMeasurement(
+            benchmark=profile.name,
+            nthreads=nthreads,
+            allocation=allocation,
+            freq_hz=freq,
+            voltage_mv=voltage_mv,
+            duration_s=duration,
+            energy_j=energy,
+            normalized_energy_j=normalized,
+        )
+
+    def thread_grid(self) -> Dict[str, int]:
+        """The paper's max/half/quarter thread options (Section II.B)."""
+        return {
+            "max": self.spec.n_cores,
+            "half": self.spec.n_cores // 2,
+            "quarter": self.spec.n_cores // 4,
+        }
+
+    def frequency_grid(self) -> Dict[str, int]:
+        """The per-chip frequency set the paper reports (Section II.B).
+
+        X-Gene 2: 2.4, 1.2 and 0.9 GHz (the three distinct Vmin
+        behaviours); X-Gene 3: 3.0 and 1.5 GHz.
+        """
+        grid = {"max": self.spec.fmax_hz, "half": self.spec.half_frequency_hz}
+        if self.spec.clock_division_below_half:
+            below = [
+                f
+                for f in self.spec.frequency_steps()
+                if f < self.spec.half_frequency_hz
+            ]
+            if below:
+                grid["divide"] = max(below)
+        return grid

@@ -1,0 +1,104 @@
+"""Figure 14 — average power over a 1-hour run, Baseline vs Optimal.
+
+One generated server workload replayed under the Baseline and Optimal
+configurations on X-Gene 3; the figure is the per-second power trace of
+both runs. The reproduction criteria: the Optimal trace sits visibly
+below the Baseline trace through the busy phases, with the same shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..analysis.tables import format_table
+from ..core.configurations import run_evaluation
+from ..sim.tracing import TimelineTrace
+from ..workloads.generator import Workload
+
+
+@dataclass
+class Fig14Result:
+    """Power traces of the Baseline and Optimal runs."""
+
+    platform: str
+    workload: Workload
+    baseline_trace: TimelineTrace
+    optimal_trace: TimelineTrace
+
+    def average_power(self) -> Tuple[float, float]:
+        """(baseline, optimal) average sampled power."""
+        return (
+            self.baseline_trace.average_power_w(),
+            self.optimal_trace.average_power_w(),
+        )
+
+    def reduction_pct(self) -> float:
+        """Average-power reduction of Optimal vs Baseline."""
+        base, opt = self.average_power()
+        return 100.0 * (base - opt) / base
+
+    def series(self, bucket_s: int = 60) -> List[Tuple[int, float, float]]:
+        """(minute, baseline W, optimal W) bucket means for rendering."""
+        rows = []
+        base = self.baseline_trace.power_series()
+        opt = self.optimal_trace.power_series()
+        for start in range(0, min(len(base), len(opt)), bucket_s):
+            chunk_b = base[start:start + bucket_s]
+            chunk_o = opt[start:start + bucket_s]
+            rows.append(
+                (
+                    start // bucket_s,
+                    sum(chunk_b) / len(chunk_b),
+                    sum(chunk_o) / len(chunk_o),
+                )
+            )
+        return rows
+
+    def format(self) -> str:
+        """Render per-minute power means."""
+        return format_table(
+            ("minute", "baseline(W)", "optimal(W)"),
+            [
+                (minute, round(b, 2), round(o, 2))
+                for minute, b, o in self.series()
+            ],
+            title=f"Figure 14 - average power timeline ({self.platform})",
+        )
+
+
+def run(
+    platform: str = "xgene3",
+    duration_s: float = 3600.0,
+    seed: int = 0,
+    workload: Optional[Workload] = None,
+) -> Fig14Result:
+    """Replay one workload under Baseline and Optimal, keeping traces."""
+    evaluation = run_evaluation(
+        platform,
+        duration_s=duration_s,
+        seed=seed,
+        configs=("baseline", "optimal"),
+        workload=workload,
+    )
+    return Fig14Result(
+        platform=evaluation.platform,
+        workload=evaluation.workload,
+        baseline_trace=evaluation.results["baseline"].trace,
+        optimal_trace=evaluation.results["optimal"].trace,
+    )
+
+
+def main() -> None:
+    """Print Fig. 14 (10-minute run for a quick look)."""
+    result = run(duration_s=600.0)
+    print(result.format())
+    base, opt = result.average_power()
+    print(
+        f"\naverage power: baseline {base:.2f} W, optimal {opt:.2f} W "
+        f"({result.reduction_pct():.1f}% lower)"
+    )
+
+
+if __name__ == "__main__":
+    main()

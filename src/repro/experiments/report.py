@@ -1,0 +1,221 @@
+"""One-shot reproduction report: every experiment, paper vs measured.
+
+``repro report`` (or ``python -m repro.experiments.report``) runs the
+full regenerator suite at a configurable workload length and emits a
+Markdown report in the style of EXPERIMENTS.md, with fresh numbers. Use
+``duration_s=3600`` for the paper-scale evaluation rows.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import List
+
+from ..units import ghz
+from . import (
+    fig3_vmin_characterization as fig3,
+    fig4_core_variation as fig4,
+    fig5_pfail as fig5,
+    fig7_allocation_energy as fig7,
+    fig8_contention as fig8,
+    fig9_l3c_rates as fig9,
+    fig10_factors as fig10,
+    fig11_energy as fig11,
+    fig12_ed2p as fig12,
+    table2,
+    tables34,
+)
+
+
+def _md_table(out: io.StringIO, headers: List[str], rows) -> None:
+    out.write("| " + " | ".join(headers) + " |\n")
+    out.write("|" + "|".join("---" for _ in headers) + "|\n")
+    for row in rows:
+        out.write("| " + " | ".join(str(v) for v in row) + " |\n")
+    out.write("\n")
+
+
+def generate(
+    duration_s: float = 600.0,
+    seed: int = 42,
+    include_characterization: bool = True,
+) -> str:
+    """Run the suite and return the Markdown report."""
+    out = io.StringIO()
+    out.write("# Reproduction report\n\n")
+    out.write(
+        f"Evaluation workloads: {duration_s:.0f} s, seed {seed}. "
+        f"Paper values in brackets where published.\n\n"
+    )
+
+    if include_characterization:
+        _characterization_section(out)
+    _energy_section(out)
+    _evaluation_section(out, duration_s, seed)
+    return out.getvalue()
+
+
+def _characterization_section(out: io.StringIO) -> None:
+    out.write("## Characterization (Figs. 3-5, 10; Table II)\n\n")
+    r3 = fig3.run("xgene3")
+    rows = []
+    for nthreads in (32, 16, 8):
+        for freq in (ghz(3.0), ghz(1.5)):
+            values = [
+                row.safe_vmin_mv
+                for row in r3.rows
+                if row.nthreads == nthreads and row.freq_hz == freq
+            ]
+            rows.append(
+                (
+                    f"{nthreads}T @ {freq / 1e9:.1f} GHz",
+                    f"{min(values)}-{max(values)} mV",
+                    f"{max(values) - min(values)} mV",
+                )
+            )
+    _md_table(out, ["X-Gene 3 config", "safe Vmin", "spread"], rows)
+
+    r4 = fig4.run("xgene2")
+    out.write(
+        f"Single/two-core regions (X-Gene 2): core-to-core spread "
+        f"{r4.core_to_core_spread_mv():.0f} mV [~30], workload spread "
+        f"{r4.workload_spread_mv():.0f} mV [~40], most robust "
+        f"PMD{r4.most_robust_pmd()} [PMD2].\n\n"
+    )
+
+    r5 = fig5.run("xgene3")
+    _md_table(
+        out,
+        ["pfail curve", "safe Vmin"],
+        [(c.label, f"{c.safe_vmin_mv()} mV") for c in r5.curves],
+    )
+
+    factors = fig10.run("xgene2").factors
+    _md_table(
+        out,
+        ["Vmin factor", "measured", "paper"],
+        [
+            ("workload", f"{100 * factors['workload']:.1f} %", "~1 %"),
+            (
+                "core allocation",
+                f"{100 * factors['core_allocation']:.1f} %",
+                "~4 %",
+            ),
+            (
+                "clock skipping",
+                f"{100 * factors['clock_skipping']:.1f} %",
+                "~3 %",
+            ),
+            (
+                "clock division",
+                f"{100 * factors['clock_division']:.1f} %",
+                "~12 %",
+            ),
+        ],
+    )
+
+    t2 = table2.run("xgene3")
+    _md_table(
+        out,
+        ["droop bin", "PMDs", "Vmin@3GHz", "paper", "Vmin@1.5GHz", "paper"],
+        [
+            (
+                f"[{r.droop_bin_mv[0]},{r.droop_bin_mv[1]}) mV",
+                f"<= {r.max_utilized_pmds}",
+                f"{r.vmin_high_mv} mV",
+                f"{r.paper_high_mv} mV" if r.paper_high_mv else "-",
+                f"{r.vmin_skip_mv} mV",
+                f"{r.paper_skip_mv} mV" if r.paper_skip_mv else "-",
+            )
+            for r in t2.rows
+        ],
+    )
+
+
+def _energy_section(out: io.StringIO) -> None:
+    out.write("## Energy and performance (Figs. 7-9, 11, 12)\n\n")
+    r7 = fig7.run("xgene2")
+    low, high = r7.span()
+    out.write(
+        f"Fig. 7 allocation-energy span: {low:.1f} % .. {high:+.1f} % "
+        f"[-9.6 % .. +14.2 %].\n\n"
+    )
+    r8 = fig8.run("xgene3")
+    _md_table(
+        out,
+        ["Fig. 8 benchmark", "T1/TN"],
+        [
+            (name, f"{r8.ratio_of(name):.2f}")
+            for name in ("namd", "EP", "milc", "FT", "CG")
+        ],
+    )
+    r9 = fig9.run("xgene3")
+    out.write(
+        f"Fig. 9 memory-intensive set ({len(r9.memory_intensive_set())} "
+        f"programs above the 3K threshold): "
+        f"{', '.join(r9.memory_intensive_set())}; classes stable across "
+        f"thread counts: {r9.classes_stable()}.\n\n"
+    )
+    r11 = fig11.run("xgene2")
+    r12 = fig12.run("xgene2")
+    _md_table(
+        out,
+        [
+            "benchmark (8T, X-Gene 2)",
+            "E @2.4GHz",
+            "E @1.2GHz",
+            "E @0.9GHz",
+            "best ED2P",
+        ],
+        [
+            (
+                name,
+                f"{r11.energy_of(name, 8, ghz(2.4)):.0f} J",
+                f"{r11.energy_of(name, 8, ghz(1.2)):.0f} J",
+                f"{r11.energy_of(name, 8, ghz(0.9)):.0f} J",
+                f"{r12.best_frequency(name, 8) / 1e9:.1f} GHz",
+            )
+            for name in ("namd", "EP", "milc", "CG", "FT")
+        ],
+    )
+
+
+def _evaluation_section(
+    out: io.StringIO, duration_s: float, seed: int
+) -> None:
+    out.write("## Evaluation (Tables III/IV)\n\n")
+    for platform, paper in (
+        ("xgene2", {"safe_vmin": 11.6, "placement": 18.3, "optimal": 25.2}),
+        ("xgene3", {"safe_vmin": 10.9, "placement": 13.4, "optimal": 22.3}),
+    ):
+        result = tables34.run(platform, duration_s=duration_s, seed=seed)
+        rows = []
+        for row in result.evaluation.rows():
+            reference = paper.get(row.config)
+            rows.append(
+                (
+                    row.config,
+                    f"{row.time_s:.0f} s",
+                    f"{row.average_power_w:.2f} W",
+                    f"{row.energy_savings_pct:.1f} %"
+                    + (f" [{reference:.1f} %]" if reference else ""),
+                    f"{row.ed2p_savings_pct:.1f} %",
+                    row.violations,
+                )
+            )
+        out.write(f"### {result.platform}\n\n")
+        _md_table(
+            out,
+            ["config", "time", "power", "energy saved", "ED2P saved",
+             "violations"],
+            rows,
+        )
+
+
+def main() -> None:
+    """Print a quick report (10-minute evaluation workloads)."""
+    print(generate(duration_s=600.0))
+
+
+if __name__ == "__main__":
+    main()

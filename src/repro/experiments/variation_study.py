@@ -1,0 +1,210 @@
+"""Chip-to-chip variation study (extension of the paper's Section III).
+
+The paper reports the variability of its two specific chips; this study
+draws a population of silicon instances (different ``silicon_seed``
+values) and asks the questions a fleet operator would:
+
+* how does the safe Vmin of key configurations spread across chips?
+* is a policy table characterized **on the deployed chip** always safe?
+* what happens when a table characterized on one chip is deployed on
+  another — the shortcut the paper's per-chip methodology avoids?
+
+The last question quantifies why the paper characterizes each machine
+individually: static core variation differs per die, so a foreign table
+can sit below a sensitive chip's true Vmin in the low-PMD classes where
+variation is not yet attenuated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..allocation import Allocation, cores_for
+from ..analysis.tables import format_table
+from ..core.policy import VminPolicyTable
+from ..platform.chip import Chip
+from ..platform.specs import ChipSpec, get_spec
+from ..sim.system import ServerSystem
+from ..core.daemon import OnlineMonitoringDaemon
+from ..vmin.model import VminModel
+from ..workloads.generator import ServerWorkloadGenerator
+from ..workloads.suites import characterization_set
+
+
+@dataclass(frozen=True)
+class ChipRecord:
+    """Per-silicon-instance measurements."""
+
+    silicon_seed: int
+    #: Worst-case single-core safe Vmin at fmax, mV.
+    single_core_vmin_mv: float
+    #: Full-chip safe Vmin at fmax, mV.
+    full_chip_vmin_mv: float
+    #: Violations when running the daemon with this chip's own table.
+    own_table_violations: int
+    #: Violations when running with the golden die's table (the most
+    #: robust chip of the population — the worst possible donor).
+    foreign_table_violations: int
+
+
+@dataclass
+class VariationStudyResult:
+    """Across-population summary."""
+
+    platform: str
+    records: List[ChipRecord] = field(default_factory=list)
+
+    def single_core_spread_mv(self) -> float:
+        """Population spread of the worst single-core Vmin."""
+        values = [r.single_core_vmin_mv for r in self.records]
+        return max(values) - min(values)
+
+    def full_chip_spread_mv(self) -> float:
+        """Population spread of the full-chip Vmin.
+
+        Should be far smaller than the single-core spread: the paper's
+        attenuation argument applies across chips too.
+        """
+        values = [r.full_chip_vmin_mv for r in self.records]
+        return max(values) - min(values)
+
+    def own_table_always_safe(self) -> bool:
+        """True when per-chip characterization never violates."""
+        return all(r.own_table_violations == 0 for r in self.records)
+
+    def foreign_table_unsafe_chips(self) -> int:
+        """Chips on which the reference chip's table undervolts."""
+        return sum(
+            1 for r in self.records if r.foreign_table_violations > 0
+        )
+
+    def format(self) -> str:
+        """Render the per-chip table."""
+        return format_table(
+            (
+                "seed",
+                "1-core Vmin(mV)",
+                "full-chip Vmin(mV)",
+                "own-table viol",
+                "foreign-table viol",
+            ),
+            [
+                (
+                    r.silicon_seed,
+                    round(r.single_core_vmin_mv, 1),
+                    round(r.full_chip_vmin_mv, 1),
+                    r.own_table_violations,
+                    r.foreign_table_violations,
+                )
+                for r in self.records
+            ],
+            title=(
+                f"Chip-to-chip variation study ({self.platform}, "
+                f"{len(self.records)} dies)"
+            ),
+        )
+
+
+def _worst_single_core_vmin(spec: ChipSpec, model: VminModel) -> float:
+    worst = 0.0
+    for core in range(spec.n_cores):
+        for profile in characterization_set():
+            worst = max(
+                worst,
+                model.safe_vmin_mv(
+                    spec.fmax_hz, (core,), profile.vmin_delta_mv
+                ),
+            )
+    return worst
+
+
+def _daemon_violations(
+    spec: ChipSpec,
+    silicon_seed: int,
+    policy: VminPolicyTable,
+    duration_s: float,
+    workload_seed: int,
+) -> int:
+    workload = ServerWorkloadGenerator(
+        max_cores=spec.n_cores, seed=workload_seed
+    ).generate(duration_s)
+    chip = Chip(spec, silicon_seed=silicon_seed)
+    daemon = OnlineMonitoringDaemon(spec, policy=policy)
+    result = ServerSystem(chip, workload, daemon).run()
+    return len(result.violations)
+
+
+def run(
+    platform: str = "xgene2",
+    seeds: Sequence[int] = tuple(range(8)),
+    duration_s: float = 1800.0,
+    workload_seed: int = 3,
+) -> VariationStudyResult:
+    """Run the study over a population of silicon instances."""
+    spec = get_spec(platform)
+    models = {seed: VminModel(spec, silicon_seed=seed) for seed in seeds}
+    # The "golden die" trap: characterize once on the most robust chip
+    # of the population and deploy that table everywhere.
+    golden_seed = min(
+        seeds, key=lambda s: _worst_single_core_vmin(spec, models[s])
+    )
+    golden_policy = VminPolicyTable.from_characterization(
+        spec, vmin_model=models[golden_seed]
+    )
+    result = VariationStudyResult(platform=spec.name)
+    for seed in seeds:
+        model = models[seed]
+        own_policy = VminPolicyTable.from_characterization(
+            spec, vmin_model=model
+        )
+        worst_profile = max(
+            characterization_set(), key=lambda p: p.vmin_delta_mv
+        )
+        full_chip = model.safe_vmin_mv(
+            spec.fmax_hz,
+            cores_for(spec, spec.n_cores, Allocation.CLUSTERED),
+            worst_profile.vmin_delta_mv,
+        )
+        result.records.append(
+            ChipRecord(
+                silicon_seed=seed,
+                single_core_vmin_mv=_worst_single_core_vmin(spec, model),
+                full_chip_vmin_mv=full_chip,
+                own_table_violations=_daemon_violations(
+                    spec, seed, own_policy, duration_s, workload_seed
+                ),
+                foreign_table_violations=_daemon_violations(
+                    spec, seed, golden_policy, duration_s,
+                    workload_seed,
+                ),
+            )
+        )
+    return result
+
+
+def main() -> None:
+    """Print the variation study for X-Gene 2."""
+    result = run()
+    print(result.format())
+    print()
+    print(
+        f"single-core Vmin spread across dies: "
+        f"{result.single_core_spread_mv():.0f} mV"
+    )
+    print(
+        f"full-chip Vmin spread across dies:   "
+        f"{result.full_chip_spread_mv():.0f} mV"
+    )
+    print(
+        f"per-chip tables always safe:         "
+        f"{result.own_table_always_safe()}"
+    )
+    print(
+        f"dies unsafe under the foreign table: "
+        f"{result.foreign_table_unsafe_chips()}/{len(result.records)}"
+    )
+
+
+if __name__ == "__main__":
+    main()

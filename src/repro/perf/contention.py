@@ -1,0 +1,72 @@
+"""Shared-resource contention primitives (Sections IV.B, Fig. 8).
+
+Two sharing effects shape the paper's results:
+
+* **memory-bandwidth contention** — all cores share the L3/DRAM path;
+  when the sum of the running threads' bandwidth demands exceeds what
+  the memory system sustains, every thread's memory-stall time inflates
+  proportionally. This is what collapses CG/FT under full-chip
+  multiprogramming in Fig. 8 while leaving namd/EP untouched;
+* **L2 sharing inside a PMD** — the two cores of a PMD share a 256 KB
+  L2, so *clustered* allocations slow memory-sensitive programs down
+  relative to *spreaded* ones (the Fig. 7 trade-off).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..errors import ConfigurationError
+from ..platform.specs import ChipSpec
+
+#: Maximum memory-time inflation from sharing a PMD's L2 (reached at
+#: ``l2_sensitivity == 1``). Calibrated against Fig. 7's -10..+14 % span.
+L2_SHARING_PENALTY = 0.60
+
+#: Dynamic-activity factor of a core while stalled on memory, relative
+#: to its compute-phase activity. These cores do not aggressively
+#: clock-gate stalled pipelines, so a waiting core still toggles a large
+#: share of its clock tree and window logic.
+STALL_ACTIVITY = 0.50
+
+
+def l2_sharing_factor(l2_sensitivity: float, shares_pmd: bool) -> float:
+    """Memory-time multiplier for one thread's L2-sharing situation."""
+    if not 0.0 <= l2_sensitivity <= 1.0:
+        raise ConfigurationError("l2_sensitivity must be in [0, 1]")
+    if not shares_pmd:
+        return 1.0
+    return 1.0 + L2_SHARING_PENALTY * l2_sensitivity
+
+
+def bandwidth_capacity_gbs(spec: ChipSpec) -> float:
+    """Sustainable memory bandwidth of the chip, GB/s."""
+    return spec.memory_bandwidth_bps / 1e9
+
+
+def contention_factor(
+    spec: ChipSpec, demands_gbs: Iterable[float]
+) -> float:
+    """Memory-time inflation when demands exceed the chip's bandwidth.
+
+    Demands are the *uncontended* per-thread bandwidth needs; when their
+    sum stays within capacity nothing inflates (factor 1.0), beyond it
+    every thread's memory time stretches by the oversubscription ratio.
+    """
+    total = 0.0
+    for demand in demands_gbs:
+        if demand < 0:
+            raise ConfigurationError("bandwidth demand must be >= 0")
+        total += demand
+    capacity = bandwidth_capacity_gbs(spec)
+    if capacity <= 0:
+        raise ConfigurationError(f"{spec.name}: no memory bandwidth")
+    return max(1.0, total / capacity)
+
+
+def bandwidth_utilization(
+    spec: ChipSpec, demands_gbs: Iterable[float]
+) -> float:
+    """Fraction of the memory system's capacity in use, clipped to 1."""
+    total = sum(demands_gbs)
+    return min(1.0, total / bandwidth_capacity_gbs(spec))

@@ -1,0 +1,64 @@
+"""Platform substrate: chip, specs, SLIMpro, CPPC and PMU models.
+
+This package models the two micro-servers of the paper (X-Gene 2 and
+X-Gene 3) at the level of detail the paper's daemon actually touches:
+one shared voltage rail, per-PMD clocks with CPPC semantics, and PMU
+counters for cycles, L3 accesses and voltage-droop events.
+"""
+
+from .chip import Chip, ChipState
+from .cppc import CppcController, FrequencyTransition
+from .pmu import (
+    DROOP_BINS_MV,
+    CounterSample,
+    CoreCounters,
+    KernelModuleReader,
+    PerfToolReader,
+    Pmu,
+    l3_rate_per_mcycles,
+)
+from .slimpro import SlimPro, VoltageTransition
+from .thermal import (
+    LEAKAGE_TEMP_COEFF_PER_C,
+    THERMAL_PARAMS,
+    VMIN_TEMP_SENSITIVITY_MV_PER_C,
+    ThermalModel,
+    ThermalParams,
+)
+from .specs import (
+    CACHE_LINE_BYTES,
+    CacheSpec,
+    ChipSpec,
+    FrequencyClass,
+    PLATFORMS,
+    get_spec,
+    xgene2_spec,
+    xgene3_spec,
+)
+
+__all__ = [
+    "CACHE_LINE_BYTES",
+    "Chip",
+    "ChipSpec",
+    "ChipState",
+    "CacheSpec",
+    "CounterSample",
+    "CoreCounters",
+    "CppcController",
+    "DROOP_BINS_MV",
+    "FrequencyClass",
+    "FrequencyTransition",
+    "KernelModuleReader",
+    "PLATFORMS",
+    "PerfToolReader",
+    "Pmu",
+    "SlimPro",
+    "THERMAL_PARAMS",
+    "ThermalModel",
+    "ThermalParams",
+    "VoltageTransition",
+    "get_spec",
+    "l3_rate_per_mcycles",
+    "xgene2_spec",
+    "xgene3_spec",
+]

@@ -1,0 +1,207 @@
+"""Runtime chip model: cores, PMDs, shared rail, occupancy tracking.
+
+A :class:`Chip` instance is a *specific piece of silicon*: it combines the
+immutable :class:`~repro.platform.specs.ChipSpec` with mutable runtime
+state (rail voltage via :class:`~repro.platform.slimpro.SlimPro`, per-PMD
+frequencies via :class:`~repro.platform.cppc.CppcController`, PMU counters)
+and a ``silicon_seed`` identifying the manufacturing-variation instance
+(different seeds model chip-to-chip variation; the default seed reproduces
+the specific chips characterized in the paper, e.g. the robust PMD2 of
+Figure 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from ..errors import ConfigurationError, SchedulingError
+from .cppc import CppcController
+from .pmu import Pmu
+from .slimpro import SlimPro
+from .specs import ChipSpec, FrequencyClass, get_spec
+
+
+@dataclass(frozen=True)
+class ChipState:
+    """Immutable snapshot of a chip's operating point.
+
+    Passed to the power, performance, Vmin and droop models so they can
+    evaluate a configuration without holding a reference to the live chip.
+    """
+
+    spec: ChipSpec
+    voltage_mv: int
+    pmd_frequencies_hz: Tuple[int, ...]
+    active_cores: FrozenSet[int]
+
+    @property
+    def active_pmds(self) -> FrozenSet[int]:
+        """PMDs with at least one active core (the paper's 'utilized PMDs')."""
+        return frozenset(
+            self.spec.pmd_of_core(core) for core in self.active_cores
+        )
+
+    @property
+    def n_active_cores(self) -> int:
+        """Number of cores currently running a thread."""
+        return len(self.active_cores)
+
+    def frequency_of_core(self, core_id: int) -> int:
+        """Effective frequency of the PMD owning ``core_id``."""
+        return self.pmd_frequencies_hz[self.spec.pmd_of_core(core_id)]
+
+    def max_active_frequency(self) -> int:
+        """Highest frequency among utilized PMDs (fmin when all idle)."""
+        pmds = self.active_pmds
+        if not pmds:
+            return self.spec.fmin_hz
+        return max(self.pmd_frequencies_hz[p] for p in pmds)
+
+    def worst_active_frequency_class(self) -> FrequencyClass:
+        """Most Vmin-demanding class among utilized PMDs.
+
+        When the chip is fully idle this returns the class of the highest
+        *configured* frequency, since the rail must still be safe for
+        whatever the clocks are doing.
+        """
+        pmds = self.active_pmds or frozenset(range(self.spec.n_pmds))
+        order = {
+            FrequencyClass.DIVIDE: 0,
+            FrequencyClass.SKIP: 1,
+            FrequencyClass.HIGH: 2,
+        }
+        classes = [
+            self.spec.frequency_class(self.pmd_frequencies_hz[p])
+            for p in pmds
+        ]
+        return max(classes, key=order.__getitem__)
+
+
+class Chip:
+    """A live chip: spec + regulator + clocks + PMU + core occupancy."""
+
+    def __init__(self, spec: ChipSpec, silicon_seed: int = 0):
+        self.spec = spec
+        self.silicon_seed = silicon_seed
+        self.slimpro = SlimPro(
+            nominal_mv=spec.nominal_voltage_mv,
+            min_mv=spec.min_voltage_mv,
+        )
+        self.cppc = CppcController(spec)
+        self.pmu = Pmu(spec)
+        #: core_id -> occupant tag (opaque to the chip; usually a pid).
+        self._occupants: Dict[int, object] = {}
+
+    # -- factory -----------------------------------------------------------
+
+    @classmethod
+    def from_name(cls, name: str, silicon_seed: int = 0) -> "Chip":
+        """Build a chip by platform short name (``xgene2`` / ``xgene3``)."""
+        return cls(get_spec(name), silicon_seed=silicon_seed)
+
+    # -- voltage / frequency knobs ------------------------------------------
+
+    @property
+    def voltage_mv(self) -> int:
+        """Current rail voltage in mV."""
+        return self.slimpro.voltage_mv
+
+    def set_voltage(self, voltage_mv: float, time_s: float = 0.0) -> int:
+        """Set the shared rail voltage (all cores)."""
+        return self.slimpro.set_voltage(voltage_mv, time_s)
+
+    def set_pmd_frequency(
+        self, pmd_id: int, freq_hz: float, time_s: float = 0.0
+    ) -> int:
+        """Set one PMD's clock; returns the snapped setting."""
+        return self.cppc.request(pmd_id, freq_hz, time_s)
+
+    def set_all_frequencies(self, freq_hz: float, time_s: float = 0.0) -> int:
+        """Set every PMD to the same clock; returns the snapped setting."""
+        return self.cppc.request_all(freq_hz, time_s)
+
+    # -- occupancy ----------------------------------------------------------
+
+    def occupy(self, core_id: int, occupant: object) -> None:
+        """Mark a core as running a thread of ``occupant``."""
+        if not 0 <= core_id < self.spec.n_cores:
+            raise ConfigurationError(
+                f"{self.spec.name}: core {core_id} out of range"
+            )
+        current = self._occupants.get(core_id)
+        if current is not None and current != occupant:
+            raise SchedulingError(
+                f"core {core_id} already occupied by {current!r}"
+            )
+        self._occupants[core_id] = occupant
+
+    def release(self, core_id: int) -> None:
+        """Mark a core as idle."""
+        self._occupants.pop(core_id, None)
+
+    def release_occupant(self, occupant: object) -> None:
+        """Release every core held by ``occupant``."""
+        for core_id in [
+            c for c, o in self._occupants.items() if o == occupant
+        ]:
+            del self._occupants[core_id]
+
+    def occupant_of(self, core_id: int) -> Optional[object]:
+        """Occupant tag of a core, or ``None`` when idle."""
+        return self._occupants.get(core_id)
+
+    def cores_of_occupant(self, occupant: object) -> Tuple[int, ...]:
+        """Cores currently held by ``occupant``, sorted."""
+        return tuple(
+            sorted(c for c, o in self._occupants.items() if o == occupant)
+        )
+
+    @property
+    def active_cores(self) -> FrozenSet[int]:
+        """Cores currently running a thread."""
+        return frozenset(self._occupants)
+
+    @property
+    def idle_cores(self) -> Tuple[int, ...]:
+        """Cores with no thread, sorted."""
+        return tuple(
+            c for c in range(self.spec.n_cores) if c not in self._occupants
+        )
+
+    @property
+    def utilized_pmds(self) -> FrozenSet[int]:
+        """PMDs with at least one active core."""
+        return frozenset(
+            self.spec.pmd_of_core(c) for c in self._occupants
+        )
+
+    def pmd_is_fully_idle(self, pmd_id: int) -> bool:
+        """True when neither core of the PMD runs a thread."""
+        return all(
+            c not in self._occupants for c in self.spec.cores_of_pmd(pmd_id)
+        )
+
+    # -- snapshots -----------------------------------------------------------
+
+    def state(self) -> ChipState:
+        """Immutable snapshot of the current operating point."""
+        return ChipState(
+            spec=self.spec,
+            voltage_mv=self.voltage_mv,
+            pmd_frequencies_hz=self.cppc.frequencies(),
+            active_cores=self.active_cores,
+        )
+
+    def reset(self) -> None:
+        """Return to power-on state: nominal voltage, fmax, all cores idle."""
+        self._occupants.clear()
+        self.slimpro.reset_to_nominal()
+        self.cppc.request_all(self.spec.fmax_hz)
+        self.pmu.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Chip {self.spec.name} @ {self.voltage_mv} mV, "
+            f"{len(self._occupants)}/{self.spec.n_cores} cores active>"
+        )

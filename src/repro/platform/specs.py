@@ -1,0 +1,261 @@
+"""Specifications of the modelled micro-server platforms (paper Table I).
+
+Two ARMv8 server chips are modelled:
+
+* **X-Gene 2** — 8 cores (4 PMDs), 2.4 GHz, 28 nm bulk CMOS, 980 mV
+  nominal, 35 W TDP, 8 MB L3 in a separate domain.
+* **X-Gene 3** — 32 cores (16 PMDs), 3.0 GHz, 16 nm FinFET, 870 mV
+  nominal, 125 W TDP, 32 MB L3 in the PCP domain.
+
+Both chips group cores in pairs (PMDs — *Processor MoDules*). Each PMD has
+its own clock domain; all cores share a single supply rail (the PCP
+domain), so the voltage is one knob for the whole chip while frequency is
+one knob per PMD (Section II.A).
+
+Frequency is settable in 1/8 steps of the maximum clock. Per Section II.B,
+the *effective* Vmin behaviour of a frequency setting depends on how the
+hardware realises it:
+
+* ratios above 1/2 use **clock skipping** on the input clock and share the
+  Vmin of the maximum frequency (``FrequencyClass.HIGH``);
+* the 1/2 ratio uses **clock skipping around the half point** under CPPC
+  frequency interleaving (``FrequencyClass.SKIP``), worth ~3 % of Vmin;
+* ratios below 1/2 engage **clock division** on X-Gene 2 only
+  (``FrequencyClass.DIVIDE``, ~12 % further Vmin reduction at 0.9 GHz);
+  on X-Gene 3 the CPPC interleave never drops to clock division, so all
+  sub-half settings stay in the ``SKIP`` class.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..errors import ConfigurationError, FrequencyRangeError
+from ..units import MHZ, ghz
+
+KIB = 1024
+MIB = 1024 * KIB
+
+#: Cache line size used when converting L3 access rates to bandwidth.
+CACHE_LINE_BYTES = 64
+
+
+class FrequencyClass(enum.Enum):
+    """Vmin-relevant class of a frequency setting (Section II.B)."""
+
+    #: Above half of the maximum clock: clock skipping, Vmin as at fmax.
+    HIGH = "high"
+    #: At half the maximum clock (or below, on chips without the clock
+    #: division path): one clock-skipping step of Vmin reduction (~3 %).
+    SKIP = "skip"
+    #: Below half the maximum clock with clock division engaged
+    #: (X-Gene 2 only): the large (~12 %) Vmin reduction.
+    DIVIDE = "divide"
+
+
+@dataclass(frozen=True)
+class CacheSpec:
+    """Cache sizes of the chip (paper Table I)."""
+
+    l1i_bytes: int
+    l1d_bytes: int
+    l2_bytes_per_pmd: int
+    l3_bytes: int
+    #: True when the L3 lives inside the PCP power domain (X-Gene 3).
+    l3_in_pcp_domain: bool
+
+
+@dataclass(frozen=True)
+class ChipSpec:
+    """Static description of a chip model.
+
+    Instances of this class are immutable; the mutable runtime state
+    (current voltage, per-PMD frequencies) lives in
+    :class:`repro.platform.chip.Chip`.
+    """
+
+    name: str
+    n_cores: int
+    cores_per_pmd: int
+    fmax_hz: int
+    fmin_hz: int
+    nominal_voltage_mv: int
+    #: Lowest voltage the SLIMpro regulator accepts, in mV.
+    min_voltage_mv: int
+    tdp_w: float
+    technology_nm: int
+    caches: CacheSpec
+    #: Sustainable DRAM + L3 bandwidth of the memory subsystem, used by
+    #: the contention model, in bytes per second.
+    memory_bandwidth_bps: float
+    #: Whether sub-half frequency requests engage clock division
+    #: (True on X-Gene 2, False on X-Gene 3 — Section II.B).
+    clock_division_below_half: bool = True
+    #: Number of frequency steps between fmin and fmax (1/8 of fmax each).
+    n_freq_steps: int = 8
+
+    def __post_init__(self) -> None:
+        if self.n_cores % self.cores_per_pmd:
+            raise ConfigurationError(
+                f"{self.name}: {self.n_cores} cores do not divide into "
+                f"PMDs of {self.cores_per_pmd}"
+            )
+        if self.fmin_hz >= self.fmax_hz:
+            raise ConfigurationError(
+                f"{self.name}: fmin {self.fmin_hz} must be below fmax "
+                f"{self.fmax_hz}"
+            )
+
+    @property
+    def n_pmds(self) -> int:
+        """Number of PMDs (core pairs) on the chip."""
+        return self.n_cores // self.cores_per_pmd
+
+    @property
+    def half_frequency_hz(self) -> int:
+        """The half-clock setting (clock-division point on X-Gene 2)."""
+        return self.fmax_hz // 2
+
+    def frequency_steps(self) -> Tuple[int, ...]:
+        """All supported frequency settings, ascending (1/8 steps of fmax)."""
+        step = self.fmax_hz // self.n_freq_steps
+        return tuple(
+            step * i
+            for i in range(1, self.n_freq_steps + 1)
+            if step * i >= self.fmin_hz
+        )
+
+    def validate_frequency(self, freq_hz: int) -> None:
+        """Raise :class:`FrequencyRangeError` for an unsupported setting."""
+        if freq_hz not in self.frequency_steps():
+            supported = ", ".join(str(f) for f in self.frequency_steps())
+            raise FrequencyRangeError(
+                f"{self.name}: {freq_hz} Hz is not a supported step "
+                f"(supported: {supported})"
+            )
+
+    def nearest_frequency(self, freq_hz: float) -> int:
+        """Snap an arbitrary request to the nearest supported step."""
+        steps = self.frequency_steps()
+        return min(steps, key=lambda f: (abs(f - freq_hz), f))
+
+    def frequency_class(self, freq_hz: int) -> FrequencyClass:
+        """Vmin-relevant class of a frequency setting (Section II.B)."""
+        half = self.half_frequency_hz
+        if freq_hz > half:
+            return FrequencyClass.HIGH
+        if freq_hz == half:
+            return FrequencyClass.SKIP
+        if self.clock_division_below_half:
+            return FrequencyClass.DIVIDE
+        return FrequencyClass.SKIP
+
+    def pmd_of_core(self, core_id: int) -> int:
+        """PMD index that owns ``core_id``."""
+        if not 0 <= core_id < self.n_cores:
+            raise ConfigurationError(
+                f"{self.name}: core {core_id} out of range"
+            )
+        return core_id // self.cores_per_pmd
+
+    def cores_of_pmd(self, pmd_id: int) -> Tuple[int, ...]:
+        """Core ids belonging to PMD ``pmd_id``."""
+        if not 0 <= pmd_id < self.n_pmds:
+            raise ConfigurationError(f"{self.name}: PMD {pmd_id} out of range")
+        base = pmd_id * self.cores_per_pmd
+        return tuple(range(base, base + self.cores_per_pmd))
+
+
+def xgene2_spec() -> ChipSpec:
+    """X-Gene 2: 8-core, 28 nm, 2.4 GHz, 980 mV nominal (Table I)."""
+    return ChipSpec(
+        name="X-Gene 2",
+        n_cores=8,
+        cores_per_pmd=2,
+        fmax_hz=ghz(2.4),
+        fmin_hz=300 * MHZ,
+        nominal_voltage_mv=980,
+        min_voltage_mv=600,
+        tdp_w=35.0,
+        technology_nm=28,
+        caches=CacheSpec(
+            l1i_bytes=32 * KIB,
+            l1d_bytes=32 * KIB,
+            l2_bytes_per_pmd=256 * KIB,
+            l3_bytes=8 * MIB,
+            l3_in_pcp_domain=False,
+        ),
+        memory_bandwidth_bps=25.6e9,
+        clock_division_below_half=True,
+    )
+
+
+def xgene3_spec() -> ChipSpec:
+    """X-Gene 3: 32-core, 16 nm FinFET, 3.0 GHz, 870 mV nominal (Table I)."""
+    return ChipSpec(
+        name="X-Gene 3",
+        n_cores=32,
+        cores_per_pmd=2,
+        fmax_hz=ghz(3.0),
+        fmin_hz=375 * MHZ,
+        nominal_voltage_mv=870,
+        min_voltage_mv=600,
+        tdp_w=125.0,
+        technology_nm=16,
+        caches=CacheSpec(
+            l1i_bytes=32 * KIB,
+            l1d_bytes=32 * KIB,
+            l2_bytes_per_pmd=256 * KIB,
+            l3_bytes=32 * MIB,
+            l3_in_pcp_domain=True,
+        ),
+        memory_bandwidth_bps=85.0e9,
+        clock_division_below_half=False,
+    )
+
+
+#: Registry of platform factories by short name.
+PLATFORMS = {
+    "xgene2": xgene2_spec,
+    "xgene3": xgene3_spec,
+}
+
+
+def _platform_key(name: str) -> str:
+    return name.lower().replace("-", "").replace("_", "").replace(" ", "")
+
+
+def register_platform(factory, name: str = "") -> str:
+    """Register a custom platform spec factory.
+
+    ``factory`` is a zero-argument callable returning a
+    :class:`ChipSpec`; the registry key defaults to the spec's own name.
+    To run the full pipeline on a custom platform, also register its
+    electrical and power behaviour:
+    :func:`repro.vmin.model.register_vmin_table`,
+    :func:`repro.power.model.register_power_params` and (optionally)
+    :func:`repro.platform.thermal.register_thermal_params`.
+    Returns the registry key. Re-registering a key overwrites it.
+    """
+    spec = factory()
+    if not isinstance(spec, ChipSpec):
+        raise ConfigurationError(
+            "platform factory must return a ChipSpec"
+        )
+    key = _platform_key(name or spec.name)
+    if not key:
+        raise ConfigurationError("platform name must be non-empty")
+    PLATFORMS[key] = factory
+    return key
+
+
+def get_spec(name: str) -> ChipSpec:
+    """Look up a platform spec by short name (``xgene2`` / ``xgene3``)."""
+    key = _platform_key(name)
+    if key not in PLATFORMS:
+        raise ConfigurationError(
+            f"unknown platform {name!r}; known: {sorted(PLATFORMS)}"
+        )
+    return PLATFORMS[key]()

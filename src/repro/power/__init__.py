@@ -1,0 +1,24 @@
+"""Power substrate: chip power model, energy metering, E/D metrics."""
+
+from .energy import (
+    EnergyMeter,
+    RunEnergy,
+    ed2p,
+    edp,
+    penalty_percent,
+    savings_percent,
+)
+from .model import POWER_PARAMS, PowerBreakdown, PowerModel, PowerParams
+
+__all__ = [
+    "EnergyMeter",
+    "POWER_PARAMS",
+    "PowerBreakdown",
+    "PowerModel",
+    "PowerParams",
+    "RunEnergy",
+    "ed2p",
+    "edp",
+    "penalty_percent",
+    "savings_percent",
+]

@@ -1,0 +1,42 @@
+"""Discrete-event server simulator: processes, scheduler, governor, traces."""
+
+from .controllers import BaselineController
+from .engine import Event, EventQueue, SimClock
+from .governor import OndemandGovernor, PerformanceGovernor, PowersaveGovernor
+from .process import (
+    ProcessCounters,
+    ProcessState,
+    SimProcess,
+    WorkloadClass,
+)
+from .scheduler import ClusterScheduler, SpreadScheduler
+from .system import (
+    Controller,
+    ServerSystem,
+    SystemResult,
+    ViolationRecord,
+)
+from .tracing import TimelineTrace, TraceSample, moving_average
+
+__all__ = [
+    "BaselineController",
+    "ClusterScheduler",
+    "Controller",
+    "Event",
+    "EventQueue",
+    "OndemandGovernor",
+    "PerformanceGovernor",
+    "PowersaveGovernor",
+    "ProcessCounters",
+    "ProcessState",
+    "ServerSystem",
+    "SimClock",
+    "SimProcess",
+    "SpreadScheduler",
+    "SystemResult",
+    "TimelineTrace",
+    "TraceSample",
+    "ViolationRecord",
+    "WorkloadClass",
+    "moving_average",
+]

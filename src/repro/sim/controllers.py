@@ -1,0 +1,37 @@
+"""Built-in policy controllers: the evaluation's Baseline behaviour.
+
+The Baseline configuration of Section VI.B runs the machine exactly as
+shipped: the default (spreading) scheduler places threads, the
+``ondemand`` governor drives the clocks, and the rail stays at nominal
+voltage. The daemon-driven configurations (Safe-Vmin, Placement, Optimal)
+live in :mod:`repro.core.configurations` on top of the same hooks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .governor import OndemandGovernor
+from .process import SimProcess
+from .system import Controller
+
+
+class BaselineController(Controller):
+    """Default Linux settings: ondemand governor, nominal voltage."""
+
+    def __init__(self, governor: Optional[OndemandGovernor] = None):
+        super().__init__()
+        self.governor = governor or OndemandGovernor()
+
+    def on_start(self) -> None:
+        """Park all clocks per the governor before any job arrives."""
+        self.governor.apply(self.system.chip, self.system.now)
+        self.system.set_voltage(self.system.spec.nominal_voltage_mv)
+
+    def on_process_started(self, process: SimProcess) -> None:
+        """Raise the clocks of newly busy PMDs."""
+        self.governor.apply(self.system.chip, self.system.now)
+
+    def on_process_finished(self, process: SimProcess) -> None:
+        """Drop the clocks of newly idle PMDs."""
+        self.governor.apply(self.system.chip, self.system.now)

@@ -1,0 +1,162 @@
+"""Process model of the server simulation.
+
+A :class:`SimProcess` is one issued job: a benchmark profile, a thread
+count and an arrival time, plus the mutable execution state the fluid
+simulation tracks — assigned cores, remaining work fraction and the
+per-process PMU accumulation the daemon classifies from.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from ..errors import SimulationError
+from ..workloads.phases import AnyBenchmark, phase_boundaries, profile_at
+from ..workloads.profiles import BenchmarkProfile
+
+
+class ProcessState(enum.Enum):
+    """Lifecycle of a job."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+
+
+class WorkloadClass(enum.Enum):
+    """The daemon's process classes (Section IV.B)."""
+
+    UNKNOWN = "unknown"
+    CPU_INTENSIVE = "cpu"
+    MEMORY_INTENSIVE = "memory"
+
+
+@dataclass
+class ProcessCounters:
+    """Per-process PMU accumulation (what the kernel module exposes)."""
+
+    cycles: float = 0.0
+    l3_accesses: float = 0.0
+
+    def advance(self, cycles: float, l3_accesses: float) -> None:
+        """Accumulate one interval's worth of activity."""
+        if cycles < 0 or l3_accesses < 0:
+            raise SimulationError("counter deltas must be non-negative")
+        self.cycles += cycles
+        self.l3_accesses += l3_accesses
+
+
+@dataclass(eq=False)
+class SimProcess:
+    """One job instance inside the simulation.
+
+    Identity semantics (``eq=False``): two process objects are the same
+    process only if they are the same object, and processes are hashable
+    as dictionary keys (migration maps, daemon state).
+    """
+
+    pid: int
+    #: Behaviour description: a static profile or a phased benchmark.
+    profile: AnyBenchmark
+    nthreads: int
+    arrival_s: float
+    state: ProcessState = ProcessState.QUEUED
+    cores: Tuple[int, ...] = ()
+    #: Fraction of the job's work still to do (1.0 at start, 0.0 done).
+    remaining_fraction: float = 1.0
+    #: The daemon's current belief about the process class.
+    observed_class: WorkloadClass = WorkloadClass.UNKNOWN
+    counters: ProcessCounters = field(default_factory=ProcessCounters)
+    start_s: Optional[float] = None
+    finish_s: Optional[float] = None
+    migrations: int = 0
+
+    @property
+    def name(self) -> str:
+        """Benchmark name of the job."""
+        return self.profile.name
+
+    @property
+    def is_running(self) -> bool:
+        """True while the job occupies cores."""
+        return self.state is ProcessState.RUNNING
+
+    @property
+    def done_fraction(self) -> float:
+        """Fraction of the job's work already completed."""
+        return 1.0 - self.remaining_fraction
+
+    def current_profile(self) -> BenchmarkProfile:
+        """Active behaviour profile at the current progress point.
+
+        Static benchmarks return themselves; phased benchmarks return
+        the profile of the phase the job is currently in.
+        """
+        return profile_at(self.profile, self.done_fraction)
+
+    def next_phase_boundary(self) -> Optional[float]:
+        """Next done-fraction where the behaviour changes, if any."""
+        for boundary in phase_boundaries(self.profile):
+            if boundary > self.done_fraction + 1e-9:
+                return boundary
+        return None
+
+    @property
+    def reference_class(self) -> WorkloadClass:
+        """Ground-truth class of the *current phase* at the reference
+        point.
+
+        Traces of daemon-less configurations (the Baseline of Fig. 15)
+        fall back to this, since no classifier runs there.
+        """
+        if self.current_profile().is_memory_intensive_reference():
+            return WorkloadClass.MEMORY_INTENSIVE
+        return WorkloadClass.CPU_INTENSIVE
+
+    def start(self, time_s: float, cores: Tuple[int, ...]) -> None:
+        """Transition QUEUED -> RUNNING on the given cores."""
+        if self.state is not ProcessState.QUEUED:
+            raise SimulationError(f"pid {self.pid}: start from {self.state}")
+        if len(cores) != self.nthreads:
+            raise SimulationError(
+                f"pid {self.pid}: {self.nthreads} threads but "
+                f"{len(cores)} cores"
+            )
+        self.state = ProcessState.RUNNING
+        self.cores = tuple(cores)
+        self.start_s = time_s
+
+    def migrate(self, cores: Tuple[int, ...]) -> None:
+        """Move the running job to a different core set."""
+        if self.state is not ProcessState.RUNNING:
+            raise SimulationError(f"pid {self.pid}: migrate while {self.state}")
+        if len(cores) != self.nthreads:
+            raise SimulationError(
+                f"pid {self.pid}: migration needs {self.nthreads} cores"
+            )
+        if tuple(cores) != self.cores:
+            self.cores = tuple(cores)
+            self.migrations += 1
+
+    def finish(self, time_s: float) -> None:
+        """Transition RUNNING -> DONE."""
+        if self.state is not ProcessState.RUNNING:
+            raise SimulationError(f"pid {self.pid}: finish from {self.state}")
+        self.state = ProcessState.DONE
+        self.cores = ()
+        self.remaining_fraction = 0.0
+        self.finish_s = time_s
+
+    def progress(self, fraction: float) -> None:
+        """Consume a fraction of the remaining work."""
+        if fraction < 0:
+            raise SimulationError("progress fraction must be non-negative")
+        self.remaining_fraction = max(0.0, self.remaining_fraction - fraction)
+
+    def turnaround_s(self) -> float:
+        """Arrival-to-finish time of a completed job."""
+        if self.finish_s is None:
+            raise SimulationError(f"pid {self.pid} has not finished")
+        return self.finish_s - self.arrival_s

@@ -1,0 +1,46 @@
+"""Default (Linux-like) thread placement.
+
+The Baseline configuration of the evaluation runs the machine with
+"default scheduler settings": the Linux CFS load balancer spreads runnable
+threads across scheduling domains, which on these chips means across PMDs
+— each thread lands on an idle PMD while one exists. That is exactly the
+*spreaded* allocation of Fig. 2, so the default scheduler is a thin policy
+over :func:`repro.allocation.pick_free_cores`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..allocation import Allocation, pick_free_cores
+from ..platform.chip import Chip
+
+
+class SpreadScheduler:
+    """CFS-like placement: spread threads across PMDs."""
+
+    allocation = Allocation.SPREADED
+
+    def select_cores(
+        self, chip: Chip, nthreads: int
+    ) -> Optional[Tuple[int, ...]]:
+        """Pick cores for a new job, or ``None`` when not enough are free."""
+        free = chip.idle_cores
+        if len(free) < nthreads:
+            return None
+        return pick_free_cores(chip.spec, free, nthreads, self.allocation)
+
+
+class ClusterScheduler:
+    """Pack threads onto as few PMDs as possible (ablation baseline)."""
+
+    allocation = Allocation.CLUSTERED
+
+    def select_cores(
+        self, chip: Chip, nthreads: int
+    ) -> Optional[Tuple[int, ...]]:
+        """Pick cores for a new job, or ``None`` when not enough are free."""
+        free = chip.idle_cores
+        if len(free) < nthreads:
+            return None
+        return pick_free_cores(chip.spec, free, nthreads, self.allocation)

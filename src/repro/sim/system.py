@@ -1,0 +1,559 @@
+"""The server-system simulator: Linux-like process lifecycle on a chip.
+
+:class:`ServerSystem` replays a generated workload (Section VI.B) on a
+:class:`~repro.platform.chip.Chip` under a pluggable policy controller —
+the Baseline governor, the Safe-Vmin trim, or the paper's monitoring
+daemon. The model is fluid: between events every running process advances
+at a rate set by its profile, its clock, its PMD sharing and the
+chip-wide memory contention; power is constant on each interval and
+integrates into energy.
+
+The simulator also audits electrical safety: after every state change it
+compares the rail voltage against the ground-truth safe Vmin of the new
+configuration, recording (or raising on) undervolting violations. The
+paper's fail-safe daemon never violates; error-prone predictive policies
+do, which is what the fail-safe ablation measures.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import SimulationError, SystemCrash
+from ..perf.contention import bandwidth_utilization, contention_factor
+from ..perf.model import ExecutionState, bandwidth_demand_gbs, execution_state
+from ..platform.chip import Chip, ChipState
+from ..platform.thermal import ThermalModel
+from ..power.energy import EnergyMeter, ed2p
+from ..power.model import PowerModel
+from ..vmin.droop import DroopModel
+from ..vmin.model import VminModel
+from ..workloads.generator import Workload
+from ..workloads.phases import resolve_benchmark
+from .engine import Event, EventQueue, SimClock
+from .process import SimProcess, WorkloadClass
+from .scheduler import SpreadScheduler
+from .tracing import TimelineTrace, TraceSample
+
+#: Remaining-work fractions below this are "done" (float guard).
+REMAINING_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class ViolationRecord:
+    """One interval where the rail sat below the ground-truth safe Vmin."""
+
+    time_s: float
+    voltage_mv: int
+    required_mv: float
+
+    @property
+    def depth_mv(self) -> float:
+        """How far below the safe Vmin the rail sat."""
+        return self.required_mv - self.voltage_mv
+
+
+@dataclass
+class SystemResult:
+    """Outcome of one full workload replay (one Tables III/IV column)."""
+
+    makespan_s: float
+    energy_j: float
+    trace: Optional[TimelineTrace]
+    processes: List[SimProcess]
+    violations: List[ViolationRecord]
+    voltage_transitions: int
+    frequency_transitions: int
+
+    @property
+    def average_power_w(self) -> float:
+        """Mean power over the run."""
+        if self.makespan_s <= 0:
+            return 0.0
+        return self.energy_j / self.makespan_s
+
+    @property
+    def ed2p(self) -> float:
+        """Energy-delay-squared product of the whole workload."""
+        return ed2p(self.energy_j, self.makespan_s)
+
+    @property
+    def total_migrations(self) -> int:
+        """Process migrations performed across the run."""
+        return sum(p.migrations for p in self.processes)
+
+
+class Controller:
+    """Base policy controller; the Baseline and daemon configs subclass it.
+
+    Hooks run inside the simulator's event handlers; they may reconfigure
+    the chip and migrate processes through the system's API, and the
+    simulator refreshes all rates afterwards.
+    """
+
+    #: Period of ``on_tick`` callbacks; ``None`` disables ticks.
+    monitor_period_s: Optional[float] = None
+
+    def __init__(self) -> None:
+        self.system: Optional["ServerSystem"] = None
+
+    def attach(self, system: "ServerSystem") -> None:
+        """Bind the controller to a system before the run starts."""
+        self.system = system
+
+    def on_start(self) -> None:
+        """Called once at time zero."""
+
+    def place(self, process: SimProcess) -> Optional[Tuple[int, ...]]:
+        """Choose cores for a new process; ``None`` delegates to CFS."""
+        return None
+
+    def on_process_started(self, process: SimProcess) -> None:
+        """Called after a process began running."""
+
+    def on_process_finished(self, process: SimProcess) -> None:
+        """Called after a process completed."""
+
+    def on_tick(self) -> None:
+        """Periodic monitor callback (``monitor_period_s``)."""
+
+
+class ServerSystem:
+    """Replays one workload on one chip under one policy controller."""
+
+    def __init__(
+        self,
+        chip: Chip,
+        workload: Workload,
+        controller: Optional[Controller] = None,
+        power_model: Optional[PowerModel] = None,
+        vmin_model: Optional[VminModel] = None,
+        droop_model: Optional[DroopModel] = None,
+        fault_policy: str = "record",
+        trace_period_s: Optional[float] = 1.0,
+        thermal_model: Optional[ThermalModel] = None,
+    ):
+        if fault_policy not in ("record", "raise", "off"):
+            raise SimulationError(f"unknown fault policy {fault_policy!r}")
+        self.chip = chip
+        self.spec = chip.spec
+        self.workload = workload
+        self.controller = controller or Controller()
+        self.power_model = power_model or PowerModel(chip.spec)
+        self.vmin_model = vmin_model or VminModel.for_chip(chip)
+        self.droop_model = droop_model or DroopModel(chip.spec)
+        self.fault_policy = fault_policy
+        #: Optional junction-temperature tracker; None = the calibration
+        #: temperature everywhere (the paper's reporting condition).
+        self.thermal = thermal_model
+        #: (time, degC) samples when the thermal model is enabled.
+        self.temperature_series: List[Tuple[float, float]] = []
+        self.scheduler = SpreadScheduler()
+        self.clock = SimClock()
+        self.events = EventQueue()
+        self.meter = EnergyMeter()
+        self.trace = (
+            TimelineTrace(trace_period_s) if trace_period_s else None
+        )
+        self._next_sample_s = 0.0
+        self.processes: List[SimProcess] = [
+            SimProcess(
+                pid=job.job_id,
+                profile=resolve_benchmark(job.benchmark),
+                nthreads=job.nthreads,
+                arrival_s=job.start_time_s,
+            )
+            for job in workload.jobs_sorted()
+        ]
+        self._by_pid: Dict[int, SimProcess] = {
+            p.pid: p for p in self.processes
+        }
+        self.queue: Deque[SimProcess] = deque()
+        self.violations: List[ViolationRecord] = []
+        self._finish_events: Dict[int, Event] = {}
+        self._phase_events: Dict[int, Event] = {}
+        self._proc_states: Dict[int, ExecutionState] = {}
+        self._power_w = 0.0
+        self._pending_arrivals = 0
+        self._crashed = False
+
+    # -- public API used by controllers -----------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulation time, seconds."""
+        return self.clock.now
+
+    def running_processes(self) -> List[SimProcess]:
+        """Processes currently occupying cores."""
+        return [p for p in self.processes if p.is_running]
+
+    def migrate(self, process: SimProcess, cores: Sequence[int]) -> None:
+        """Move a running process to new cores (controller hook API)."""
+        if not process.is_running:
+            raise SimulationError(
+                f"pid {process.pid}: cannot migrate a non-running process"
+            )
+        new = tuple(cores)
+        if new == process.cores:
+            return
+        for core in new:
+            holder = self.chip.occupant_of(core)
+            if holder is not None and holder != process.pid:
+                raise SimulationError(
+                    f"core {core} busy with pid {holder}; migration invalid"
+                )
+        self.chip.release_occupant(process.pid)
+        for core in new:
+            self.chip.occupy(core, process.pid)
+        process.migrate(new)
+
+    def migrate_many(
+        self, moves: Dict[SimProcess, Tuple[int, ...]]
+    ) -> None:
+        """Apply several migrations atomically (two-phase).
+
+        All moving processes release their cores first, then re-occupy
+        their targets, so swaps between processes are legal.
+        """
+        for process in moves:
+            if not process.is_running:
+                raise SimulationError(
+                    f"pid {process.pid}: cannot migrate a non-running process"
+                )
+            self.chip.release_occupant(process.pid)
+        for process, cores in moves.items():
+            for core in cores:
+                self.chip.occupy(core, process.pid)
+            process.migrate(tuple(cores))
+
+    def set_voltage(self, voltage_mv: float) -> int:
+        """Set the shared rail (controller hook API)."""
+        return self.chip.set_voltage(voltage_mv, self.now)
+
+    def set_pmd_frequency(self, pmd_id: int, freq_hz: float) -> int:
+        """Set one PMD's clock (controller hook API)."""
+        return self.chip.set_pmd_frequency(pmd_id, freq_hz, self.now)
+
+    def process_frequency_hz(self, process: SimProcess) -> int:
+        """Slowest clock among the PMDs a running process occupies."""
+        if not process.cores:
+            return self.spec.fmax_hz
+        state = self.chip.state()
+        return min(state.frequency_of_core(c) for c in process.cores)
+
+    # -- main loop ----------------------------------------------------------------
+
+    def run(self) -> SystemResult:
+        """Replay the whole workload and return the run summary."""
+        self.controller.attach(self)
+        for process in self.processes:
+            self.events.schedule(process.arrival_s, "arrival", process.pid)
+        self._pending_arrivals = len(self.processes)
+        self.controller.on_start()
+        if self.controller.monitor_period_s:
+            self.events.schedule(
+                self.controller.monitor_period_s, "tick"
+            )
+        self._refresh()
+        while self.events:
+            event = self.events.pop()
+            self._integrate_to(event.time_s)
+            self.clock.advance_to(event.time_s)
+            self._dispatch(event)
+            self._refresh()
+            if self._crashed:
+                break
+        makespan = self._makespan()
+        # Charge the idle tail (if tracing sampled past the last finish,
+        # energy was already integrated up to the last event only).
+        return SystemResult(
+            makespan_s=makespan,
+            energy_j=self.meter.energy_j,
+            trace=self.trace,
+            processes=self.processes,
+            violations=self.violations,
+            voltage_transitions=self.chip.slimpro.transition_count(),
+            frequency_transitions=self.chip.cppc.transition_count(),
+        )
+
+    # -- event handling ----------------------------------------------------------
+
+    def _dispatch(self, event: Event) -> None:
+        if event.kind == "arrival":
+            self._handle_arrival(self._by_pid[event.payload])
+        elif event.kind == "finish":
+            self._handle_finish(event)
+        elif event.kind == "phase":
+            self._handle_phase(event)
+        elif event.kind == "tick":
+            self._handle_tick()
+        else:  # pragma: no cover - defensive
+            raise SimulationError(f"unknown event kind {event.kind!r}")
+
+    def _handle_arrival(self, process: SimProcess) -> None:
+        self._pending_arrivals -= 1
+        if not self._try_admit(process):
+            self.queue.append(process)
+
+    def _try_admit(self, process: SimProcess) -> bool:
+        cores = self.controller.place(process)
+        if cores is None:
+            cores = self.scheduler.select_cores(self.chip, process.nthreads)
+        if cores is None:
+            return False
+        process.start(self.now, tuple(cores))
+        for core in process.cores:
+            self.chip.occupy(core, process.pid)
+        self.controller.on_process_started(process)
+        return True
+
+    def _handle_finish(self, event: Event) -> None:
+        process = self._by_pid[event.payload]
+        current = self._finish_events.get(process.pid)
+        if current is None or current.seq != event.seq:
+            return  # stale completion superseded by a reschedule
+        del self._finish_events[process.pid]
+        self.chip.release_occupant(process.pid)
+        process.finish(self.now)
+        self.controller.on_process_finished(process)
+        self._admit_queued()
+
+    def _admit_queued(self) -> None:
+        while self.queue and self._try_admit(self.queue[0]):
+            self.queue.popleft()
+
+    def _handle_phase(self, event: Event) -> None:
+        """A process crossed a phase boundary: rates change on refresh.
+
+        The daemon is *not* notified directly — it must observe the
+        shifted PMU rates through its monitor, as on real hardware.
+        """
+        process = self._by_pid[event.payload]
+        current = self._phase_events.get(process.pid)
+        if current is None or current.seq != event.seq:
+            return  # superseded by a reschedule
+        del self._phase_events[process.pid]
+
+    def _handle_tick(self) -> None:
+        self.controller.on_tick()
+        work_left = (
+            self._pending_arrivals > 0
+            or self.queue
+            or any(p.is_running for p in self.processes)
+        )
+        if work_left and self.controller.monitor_period_s:
+            self.events.schedule(
+                self.now + self.controller.monitor_period_s, "tick"
+            )
+
+    # -- fluid integration ---------------------------------------------------------
+
+    def _integrate_to(self, time_s: float) -> None:
+        dt = time_s - self.now
+        if dt <= 0:
+            self._sample_trace_until(time_s)
+            return
+        state = self.chip.state()
+        running = self.running_processes()
+        for process in running:
+            exec_state = self._proc_states[process.pid]
+            freq = self.process_frequency_hz(process)
+            cycles = freq * dt * process.nthreads
+            accesses = (
+                exec_state.l3_rate_per_mcycles * freq * dt / 1e6
+            ) * process.nthreads
+            process.counters.advance(cycles, accesses)
+            for core in process.cores:
+                core_freq = state.frequency_of_core(core)
+                self.chip.pmu.core(core).advance(
+                    cycles=core_freq * dt,
+                    instructions=core_freq * dt * exec_state.effective_activity,
+                    l3_accesses=accesses / process.nthreads,
+                )
+            process.progress(dt / exec_state.duration_s)
+        self._accumulate_droops(state, running, dt)
+        self.meter.accumulate(self._power_w, dt)
+        if self.thermal is not None:
+            self.thermal.step(self._power_w, dt)
+            self.temperature_series.append(
+                (time_s, self.thermal.temperature_c)
+            )
+        self._sample_trace_until(time_s)
+
+    def _accumulate_droops(
+        self,
+        state: ChipState,
+        running: List[SimProcess],
+        dt: float,
+    ) -> None:
+        pmds = state.active_pmds
+        if not pmds:
+            return
+        cycles = state.max_active_frequency() * dt
+        activity = sum(
+            self._proc_states[p.pid].effective_activity for p in running
+        ) / max(1, len(running))
+        events = self.droop_model.events_for_interval(
+            utilized_pmds=len(pmds),
+            cycles=cycles,
+            freq_class=state.worst_active_frequency_class(),
+            activity=max(0.05, activity),
+        )
+        for bin_mv, count in events.items():
+            self.chip.pmu.record_droops(bin_mv, count)
+
+    def _sample_trace_until(self, time_s: float) -> None:
+        if self.trace is None:
+            return
+        while self._next_sample_s <= time_s + 1e-12:
+            counts = self._class_counts()
+            state = self.chip.state()
+            active = state.active_pmds
+            mean_freq = (
+                sum(state.pmd_frequencies_hz[p] for p in active) / len(active)
+                if active
+                else self.spec.fmin_hz
+            )
+            self.trace.append(
+                TraceSample(
+                    time_s=self._next_sample_s,
+                    power_w=self._power_w,
+                    busy_cores=len(state.active_cores),
+                    running_processes=len(self.running_processes()),
+                    cpu_intensive=counts[0],
+                    memory_intensive=counts[1],
+                    voltage_mv=state.voltage_mv,
+                    mean_active_freq_hz=mean_freq,
+                )
+            )
+            self._next_sample_s += self.trace.period_s
+
+    def _class_counts(self) -> Tuple[int, int]:
+        cpu = mem = 0
+        for process in self.running_processes():
+            label = process.observed_class
+            if label is WorkloadClass.UNKNOWN:
+                label = process.reference_class
+            if label is WorkloadClass.MEMORY_INTENSIVE:
+                mem += 1
+            else:
+                cpu += 1
+        return cpu, mem
+
+    # -- state refresh ----------------------------------------------------------------
+
+    def _refresh(self) -> None:
+        """Recompute rates, power and completion times after any change."""
+        state = self.chip.state()
+        running = self.running_processes()
+        demands: List[float] = []
+        freqs: Dict[int, int] = {}
+        behaviours: Dict[int, object] = {}
+        for process in running:
+            freq = min(state.frequency_of_core(c) for c in process.cores)
+            freqs[process.pid] = freq
+            behaviour = process.current_profile()
+            behaviours[process.pid] = behaviour
+            demand = bandwidth_demand_gbs(behaviour, self.spec, freq)
+            demands.extend([demand] * process.nthreads)
+        crowd = contention_factor(self.spec, demands)
+        bw_util = bandwidth_utilization(self.spec, demands)
+        activity_map: Dict[int, float] = {}
+        self._proc_states = {}
+        for process in running:
+            shares = self._shares_pmd(process)
+            exec_state = execution_state(
+                behaviours[process.pid],
+                self.spec,
+                freqs[process.pid],
+                nthreads=process.nthreads,
+                shares_pmd=shares,
+                contention=crowd,
+            )
+            self._proc_states[process.pid] = exec_state
+            for core in process.cores:
+                activity_map[core] = exec_state.effective_activity
+        leak_multiplier = (
+            self.thermal.leakage_multiplier()
+            if self.thermal is not None
+            else 1.0
+        )
+        self._power_w = self.power_model.chip_power(
+            state, activity_map, bw_util,
+            leakage_multiplier=leak_multiplier,
+        ).total_w
+        self._reschedule_completions(running)
+        self._audit_voltage(state, running)
+
+    def _shares_pmd(self, process: SimProcess) -> bool:
+        for core in process.cores:
+            for sibling in self.spec.cores_of_pmd(self.spec.pmd_of_core(core)):
+                if sibling != core and self.chip.occupant_of(sibling) is not None:
+                    return True
+        return False
+
+    def _reschedule_completions(self, running: List[SimProcess]) -> None:
+        for process in running:
+            old = self._finish_events.get(process.pid)
+            if old is not None:
+                self.events.cancel(old)
+            exec_state = self._proc_states[process.pid]
+            remaining_s = max(
+                0.0, process.remaining_fraction * exec_state.duration_s
+            )
+            if process.remaining_fraction <= REMAINING_EPS:
+                remaining_s = 0.0
+            self._finish_events[process.pid] = self.events.schedule(
+                self.now + remaining_s, "finish", process.pid
+            )
+            self._reschedule_phase(process, exec_state)
+
+    def _reschedule_phase(self, process, exec_state) -> None:
+        old = self._phase_events.pop(process.pid, None)
+        if old is not None:
+            self.events.cancel(old)
+        boundary = process.next_phase_boundary()
+        if boundary is None:
+            return
+        # Progress advances at 1/duration done-fractions per second.
+        eta_s = (boundary - process.done_fraction) * exec_state.duration_s
+        self._phase_events[process.pid] = self.events.schedule(
+            self.now + max(0.0, eta_s), "phase", process.pid
+        )
+
+    def _audit_voltage(
+        self, state: ChipState, running: List[SimProcess]
+    ) -> None:
+        if self.fault_policy == "off" or not running:
+            return
+        workload_delta = max(
+            p.current_profile().vmin_delta_mv for p in running
+        )
+        required = self.vmin_model.safe_vmin_for_state(
+            state, workload_delta_mv=workload_delta
+        )
+        if self.thermal is not None:
+            required += self.thermal.vmin_shift_mv()
+        if state.voltage_mv < required - 1e-9:
+            record = ViolationRecord(
+                time_s=self.now,
+                voltage_mv=state.voltage_mv,
+                required_mv=required,
+            )
+            self.violations.append(record)
+            if self.fault_policy == "raise":
+                self._crashed = True
+                raise SystemCrash(
+                    state.voltage_mv,
+                    f"rail at {state.voltage_mv} mV below safe Vmin "
+                    f"{required:.1f} mV at t={self.now:.3f}s",
+                )
+
+    def _makespan(self) -> float:
+        finished = [
+            p.finish_s for p in self.processes if p.finish_s is not None
+        ]
+        return max(finished) if finished else self.now

@@ -1,0 +1,58 @@
+"""Unit helpers and constants shared across the package.
+
+The library stores voltages in millivolts (mV), frequencies in hertz (Hz),
+power in watts (W), energy in joules (J) and time in seconds (s). These
+helpers keep conversions explicit at API boundaries.
+"""
+
+from __future__ import annotations
+
+#: One megahertz in hertz.
+MHZ = 1_000_000
+#: One gigahertz in hertz.
+GHZ = 1_000_000_000
+
+#: Cycle window the paper's daemon uses for L3C-rate measurements.
+ONE_MILLION_CYCLES = 1_000_000
+
+
+def ghz(value: float) -> int:
+    """Convert a frequency expressed in GHz to an integer number of Hz."""
+    return int(round(value * GHZ))
+
+
+def mhz(value: float) -> int:
+    """Convert a frequency expressed in MHz to an integer number of Hz."""
+    return int(round(value * MHZ))
+
+
+def hz_to_ghz(value: float) -> float:
+    """Convert a frequency in Hz to GHz."""
+    return value / GHZ
+
+
+def mv_to_v(value_mv: float) -> float:
+    """Convert millivolts to volts."""
+    return value_mv / 1000.0
+
+
+def v_to_mv(value_v: float) -> float:
+    """Convert volts to millivolts."""
+    return value_v * 1000.0
+
+
+def joules(power_w: float, seconds: float) -> float:
+    """Energy in joules for constant power over an interval."""
+    return power_w * seconds
+
+
+def fmt_freq(freq_hz: float) -> str:
+    """Human-readable frequency, e.g. ``2.4GHz`` or ``900MHz``."""
+    if freq_hz >= GHZ and (freq_hz % (100 * MHZ) == 0 or freq_hz >= 10 * GHZ):
+        return f"{freq_hz / GHZ:.4g}GHz"
+    return f"{freq_hz / MHZ:.4g}MHz"
+
+
+def fmt_mv(voltage_mv: float) -> str:
+    """Human-readable voltage, e.g. ``870mV``."""
+    return f"{voltage_mv:.0f}mV"

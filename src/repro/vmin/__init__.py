@@ -1,0 +1,79 @@
+"""Safe-Vmin substrate: ground truth, droop model, faults, campaigns.
+
+This package is the simulated silicon's electrical behaviour: what the
+paper *measured* on the real X-Gene 2/3 chips is encoded here as ground
+truth (Sections III and IV), and the characterization campaigns re-derive
+it exactly the way the authors did on hardware.
+"""
+
+from .characterize import (
+    CharacterizationPoint,
+    SafeVminResult,
+    UnsafeScanResult,
+    VminCampaign,
+    VoltageStepRecord,
+)
+from .droop import (
+    DroopModel,
+    droop_bin,
+    droop_bin_index,
+    droop_ladder,
+    max_droop_mv,
+)
+from .faults import (
+    FAULT_OUTCOMES,
+    OUTCOME_CRASH,
+    OUTCOME_HANG,
+    OUTCOME_PASS,
+    OUTCOME_SDC,
+    OUTCOME_TIMEOUT,
+    FaultModel,
+    UnsafeRegion,
+)
+from .prediction import (
+    PredictionReport,
+    TrainingPoint,
+    VminPredictor,
+)
+from .model import (
+    VminBreakdown,
+    VminModel,
+    variation_attenuation,
+    workload_delta_limit_mv,
+)
+from .variation import (
+    CoreVariationMap,
+    make_variation_map,
+    max_core_offset_mv,
+)
+
+__all__ = [
+    "CharacterizationPoint",
+    "PredictionReport",
+    "TrainingPoint",
+    "VminPredictor",
+    "CoreVariationMap",
+    "DroopModel",
+    "FAULT_OUTCOMES",
+    "FaultModel",
+    "OUTCOME_CRASH",
+    "OUTCOME_HANG",
+    "OUTCOME_PASS",
+    "OUTCOME_SDC",
+    "OUTCOME_TIMEOUT",
+    "SafeVminResult",
+    "UnsafeRegion",
+    "UnsafeScanResult",
+    "VminBreakdown",
+    "VminCampaign",
+    "VminModel",
+    "VoltageStepRecord",
+    "droop_bin",
+    "droop_bin_index",
+    "droop_ladder",
+    "make_variation_map",
+    "max_core_offset_mv",
+    "max_droop_mv",
+    "variation_attenuation",
+    "workload_delta_limit_mv",
+]

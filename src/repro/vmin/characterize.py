@@ -1,0 +1,296 @@
+"""Vmin characterization campaigns (Section III).
+
+Implements the paper's measurement protocol against the simulated
+silicon:
+
+* **safe-Vmin search** — starting from nominal voltage, descend in fixed
+  steps (10 mV, the granularity of the paper's figures); a level is the
+  *safe Vmin* when all 1000 executions of the program complete correctly
+  (Section III.A);
+* **unsafe-region scan** — below the safe Vmin, run each level 60 times
+  and record the outcome mix (SDC / crash / hang / timeout) down to the
+  system crash point (Section III.B, Figs. 4 and 5).
+
+Two execution modes are supported: ``trials`` draws the actual binomial
+run outcomes (exactly what the hardware campaign does, minus the weeks of
+machine time), and ``analytic`` short-circuits to the underlying failure
+probabilities, for fast exact sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..allocation import Allocation, cores_for
+from ..errors import CharacterizationError
+from ..platform.specs import ChipSpec
+from .faults import FAULT_OUTCOMES, OUTCOME_PASS, FaultModel
+from .model import VminModel
+
+
+@dataclass(frozen=True)
+class CharacterizationPoint:
+    """One (workload, threads, allocation, frequency) configuration."""
+
+    workload: str
+    nthreads: int
+    allocation: Allocation
+    freq_hz: int
+    cores: Tuple[int, ...]
+    workload_delta_mv: float = 0.0
+
+    def label(self) -> str:
+        """Compact human-readable tag, e.g. ``4T(spreaded)@2.4GHz``."""
+        from ..units import fmt_freq
+
+        return (
+            f"{self.nthreads}T({self.allocation.value})@"
+            f"{fmt_freq(self.freq_hz)}"
+        )
+
+
+@dataclass
+class VoltageStepRecord:
+    """Outcome statistics of one voltage level during a campaign."""
+
+    voltage_mv: int
+    runs: int
+    pfail: float
+    outcomes: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def failures(self) -> int:
+        """Failed runs at this level."""
+        return sum(
+            count for tag, count in self.outcomes.items()
+            if tag != OUTCOME_PASS
+        )
+
+
+@dataclass
+class SafeVminResult:
+    """Result of one safe-Vmin search."""
+
+    point: CharacterizationPoint
+    safe_vmin_mv: int
+    true_vmin_mv: float
+    steps: List[VoltageStepRecord]
+    runs_per_step: int
+
+    @property
+    def guardband_mv(self) -> float:
+        """Exposed guardband: nominal voltage minus measured safe Vmin."""
+        return self.nominal_mv - self.safe_vmin_mv
+
+    @property
+    def nominal_mv(self) -> int:
+        """Nominal voltage the search started from."""
+        return self.steps[0].voltage_mv if self.steps else self.safe_vmin_mv
+
+
+@dataclass
+class UnsafeScanResult:
+    """Result of one unsafe-region scan (60 runs per level)."""
+
+    point: CharacterizationPoint
+    safe_vmin_mv: int
+    crash_voltage_mv: int
+    steps: List[VoltageStepRecord]
+
+
+class VminCampaign:
+    """Runs characterization protocols against the simulated silicon."""
+
+    def __init__(
+        self,
+        spec: ChipSpec,
+        vmin_model: Optional[VminModel] = None,
+        fault_model: Optional[FaultModel] = None,
+        step_mv: int = 10,
+        pass_runs: int = 1000,
+        scan_runs: int = 60,
+        seed: int = 0,
+    ):
+        if step_mv <= 0:
+            raise CharacterizationError("step_mv must be positive")
+        if pass_runs <= 0 or scan_runs <= 0:
+            raise CharacterizationError("run counts must be positive")
+        self.spec = spec
+        self.vmin_model = vmin_model or VminModel(spec)
+        self.fault_model = fault_model or FaultModel()
+        self.step_mv = step_mv
+        self.pass_runs = pass_runs
+        self.scan_runs = scan_runs
+        self._rng = np.random.default_rng(seed)
+
+    # -- configuration helpers -------------------------------------------------
+
+    def point(
+        self,
+        workload: str,
+        nthreads: int,
+        allocation: Allocation,
+        freq_hz: int,
+        cores: Optional[Sequence[int]] = None,
+        workload_delta_mv: float = 0.0,
+    ) -> CharacterizationPoint:
+        """Build a characterization point, deriving cores when not given."""
+        freq = self.spec.nearest_frequency(freq_hz)
+        chosen = (
+            tuple(cores)
+            if cores is not None
+            else cores_for(self.spec, nthreads, allocation)
+        )
+        if len(chosen) != nthreads:
+            raise CharacterizationError(
+                f"{nthreads} threads but {len(chosen)} cores given"
+            )
+        return CharacterizationPoint(
+            workload=workload,
+            nthreads=nthreads,
+            allocation=allocation,
+            freq_hz=freq,
+            cores=chosen,
+            workload_delta_mv=workload_delta_mv,
+        )
+
+    def _true_vmin(self, point: CharacterizationPoint) -> Tuple[float, int]:
+        breakdown = self.vmin_model.evaluate(
+            point.freq_hz, point.cores, point.workload_delta_mv
+        )
+        return breakdown.total_mv, breakdown.droop_class
+
+    # -- safe-Vmin search --------------------------------------------------------
+
+    def measure_safe_vmin(
+        self,
+        point: CharacterizationPoint,
+        mode: str = "analytic",
+    ) -> SafeVminResult:
+        """Descend from nominal until 1000-run passes stop (Section III.A).
+
+        Returns the lowest voltage step at which all runs passed. In
+        ``trials`` mode each level's outcomes are drawn binomially; in
+        ``analytic`` mode a level is safe exactly when its failure
+        probability is zero.
+        """
+        if mode not in ("analytic", "trials"):
+            raise CharacterizationError(f"unknown mode {mode!r}")
+        true_vmin, droop_class = self._true_vmin(point)
+        steps: List[VoltageStepRecord] = []
+        safe = self.spec.nominal_voltage_mv
+        voltage = self.spec.nominal_voltage_mv
+        while voltage >= self.spec.min_voltage_mv:
+            record = self._run_level(
+                voltage, true_vmin, droop_class, self.pass_runs, mode
+            )
+            steps.append(record)
+            if record.failures > 0:
+                break
+            safe = voltage
+            voltage -= self.step_mv
+        return SafeVminResult(
+            point=point,
+            safe_vmin_mv=safe,
+            true_vmin_mv=true_vmin,
+            steps=steps,
+            runs_per_step=self.pass_runs,
+        )
+
+    # -- unsafe-region scan --------------------------------------------------------
+
+    def scan_unsafe_region(
+        self,
+        point: CharacterizationPoint,
+        mode: str = "analytic",
+        safe_vmin_mv: Optional[int] = None,
+    ) -> UnsafeScanResult:
+        """Scan below the safe Vmin, 60 runs per level (Section III.B).
+
+        Continues until a level where every run fails (the system crash
+        point) or the regulator floor.
+        """
+        true_vmin, droop_class = self._true_vmin(point)
+        if safe_vmin_mv is None:
+            safe_vmin_mv = self.measure_safe_vmin(point, mode).safe_vmin_mv
+        steps: List[VoltageStepRecord] = []
+        voltage = safe_vmin_mv
+        crash_voltage = self.spec.min_voltage_mv
+        while voltage >= self.spec.min_voltage_mv:
+            record = self._run_level(
+                voltage, true_vmin, droop_class, self.scan_runs, mode
+            )
+            steps.append(record)
+            if record.pfail >= 1.0 or record.failures == record.runs:
+                crash_voltage = voltage
+                break
+            voltage -= self.step_mv
+        return UnsafeScanResult(
+            point=point,
+            safe_vmin_mv=safe_vmin_mv,
+            crash_voltage_mv=crash_voltage,
+            steps=steps,
+        )
+
+    # -- pfail curve -------------------------------------------------------------
+
+    def pfail_curve(
+        self,
+        point: CharacterizationPoint,
+        voltages_mv: Iterable[int],
+    ) -> Dict[int, float]:
+        """Exact cumulative failure probability per voltage (Fig. 5)."""
+        true_vmin, droop_class = self._true_vmin(point)
+        return {
+            int(v): self.fault_model.pfail(v, true_vmin, droop_class)
+            for v in voltages_mv
+        }
+
+    # -- internals --------------------------------------------------------------
+
+    def _run_level(
+        self,
+        voltage_mv: int,
+        true_vmin_mv: float,
+        droop_class: int,
+        runs: int,
+        mode: str,
+    ) -> VoltageStepRecord:
+        pfail = self.fault_model.pfail(voltage_mv, true_vmin_mv, droop_class)
+        outcomes: Dict[str, int] = {OUTCOME_PASS: runs}
+        if mode == "analytic":
+            # Expected outcome mix, rounded: failures occur iff pfail > 0.
+            failures = int(round(pfail * runs))
+            if pfail > 0.0:
+                failures = max(failures, 1)
+        else:
+            failures = int(self._rng.binomial(runs, pfail))
+        if failures:
+            outcomes[OUTCOME_PASS] = runs - failures
+            mix = self.fault_model.outcome_mix(
+                voltage_mv, true_vmin_mv, droop_class
+            )
+            if mode == "analytic":
+                split = {
+                    tag: int(round(failures * share))
+                    for tag, share in mix.items()
+                }
+                # Put rounding residue in the dominant failure type.
+                residue = failures - sum(split.values())
+                dominant = max(mix, key=mix.get)
+                split[dominant] += residue
+            else:
+                draws = self._rng.multinomial(
+                    failures, [mix[tag] for tag in FAULT_OUTCOMES]
+                )
+                split = dict(zip(FAULT_OUTCOMES, (int(d) for d in draws)))
+            outcomes.update(split)
+        return VoltageStepRecord(
+            voltage_mv=voltage_mv,
+            runs=runs,
+            pfail=pfail,
+            outcomes=outcomes,
+        )

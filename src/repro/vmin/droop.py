@@ -1,0 +1,181 @@
+"""Voltage-droop model: magnitude classes and event generation (Fig. 6).
+
+The paper's key physical observation (Section IV.A) is that in multicore
+executions the *maximum voltage-droop magnitude* is set by the number of
+utilized PMDs and the clock frequency — not by which program runs. Every
+program produces the same maximum droop magnitude for a given core
+allocation, which is why the safe Vmin becomes workload-independent as
+soon as a few PMDs are active.
+
+This module maps utilized-PMD counts to the droop-magnitude bins of
+Table II / Figure 6 and generates droop-detection counts per million
+cycles the way the X-Gene 3 embedded oscilloscope reports them.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..errors import ConfigurationError
+from ..platform.pmu import DROOP_BINS_MV
+from ..platform.specs import ChipSpec, FrequencyClass
+
+
+def droop_bin_index(spec: ChipSpec, utilized_pmds: int) -> int:
+    """Droop-magnitude bin (index into ``DROOP_BINS_MV``) for a PMD count.
+
+    On the 16-PMD X-Gene 3 this reproduces Table II exactly:
+    1-2 PMDs -> [25,35), 3-4 -> [35,45), 5-8 -> [45,55), 9-16 -> [55,65).
+    Other chip sizes use the same powers-of-two ladder relative to their
+    own PMD count, so the 4-PMD X-Gene 2 spans three bins
+    (1 PMD -> [25,35), 2 -> [35,45), 3-4 -> [45,55)).
+    """
+    if utilized_pmds <= 0:
+        return 0
+    if utilized_pmds > spec.n_pmds:
+        raise ConfigurationError(
+            f"{spec.name}: {utilized_pmds} utilized PMDs exceeds "
+            f"{spec.n_pmds}"
+        )
+    for index, bound in enumerate(droop_ladder(spec)):
+        if utilized_pmds <= bound:
+            return index
+    raise ConfigurationError(  # pragma: no cover - ladder ends at n_pmds
+        f"{spec.name}: no droop class for {utilized_pmds} PMDs"
+    )
+
+
+def droop_ladder(spec: ChipSpec) -> Tuple[int, ...]:
+    """Utilized-PMD boundaries of the droop-magnitude classes.
+
+    Boundaries sit at 1/8, 1/4, 1/2 and all of the chip's PMDs, matching
+    Table II's 2/4/8/16 ladder on the 16-PMD X-Gene 3. Duplicate rungs on
+    small chips collapse, so the 4-PMD X-Gene 2 has the three classes
+    (1, 2, 4 PMDs) starting from the mildest bin: a smaller chip's full
+    complement draws a smaller worst-case current swing.
+    """
+    raw = [
+        max(1, spec.n_pmds // 8),
+        max(1, spec.n_pmds // 4),
+        max(1, spec.n_pmds // 2),
+        spec.n_pmds,
+    ]
+    ladder = []
+    for bound in raw:
+        if not ladder or bound > ladder[-1]:
+            ladder.append(bound)
+    return tuple(ladder)
+
+
+def droop_bin(spec: ChipSpec, utilized_pmds: int) -> Tuple[int, int]:
+    """Droop-magnitude bin bounds in mV for a utilized-PMD count."""
+    return DROOP_BINS_MV[droop_bin_index(spec, utilized_pmds)]
+
+
+def max_droop_mv(
+    spec: ChipSpec,
+    utilized_pmds: int,
+    freq_class: FrequencyClass = FrequencyClass.HIGH,
+) -> float:
+    """Representative maximum droop magnitude for a configuration.
+
+    Lower effective frequencies draw current more smoothly, shaving a few
+    mV off the worst droop (this is why Table II's 1.5 GHz Vmin column
+    sits 10-20 mV below the 3 GHz one).
+    """
+    low, high = droop_bin(spec, utilized_pmds)
+    magnitude = (low + high) / 2.0
+    if freq_class is FrequencyClass.SKIP:
+        magnitude -= 5.0
+    elif freq_class is FrequencyClass.DIVIDE:
+        magnitude -= 12.0
+    return max(0.0, magnitude)
+
+
+@dataclass(frozen=True)
+class DroopActivity:
+    """Workload-dependent droop *rate* knobs (not magnitude).
+
+    The magnitude ceiling is allocation-determined; how *often* droops
+    fire still varies with the program's switching activity.
+    """
+
+    #: Relative switching-activity factor (~IPC-proportional), around 1.0.
+    activity: float = 1.0
+
+
+class DroopModel:
+    """Generates droop-detection counts per million cycles (Fig. 6)."""
+
+    #: Baseline detections per 1 M cycles in a configuration's own
+    #: (maximum-magnitude) bin, before workload activity scaling.
+    BASE_RATE_PER_MCYCLES = 40.0
+    #: Rate multiplier per bin *below* the configuration's own bin —
+    #: smaller droops are more frequent.
+    LOWER_BIN_MULTIPLIER = 2.5
+    #: Residual rate in bins above the configuration's ceiling (near
+    #: zero: Fig. 6 shows "almost zero droops" there).
+    ABOVE_CEILING_RATE = 0.02
+
+    def __init__(self, spec: ChipSpec, seed: int = 0):
+        self.spec = spec
+        self._seed = seed
+
+    def rates_per_mcycles(
+        self,
+        utilized_pmds: int,
+        freq_class: FrequencyClass = FrequencyClass.HIGH,
+        activity: float = 1.0,
+        jitter: bool = True,
+        workload_name: str = "",
+    ) -> Dict[Tuple[int, int], float]:
+        """Detections per 1 M cycles in every magnitude bin.
+
+        The configuration's ceiling bin comes from the utilized-PMD
+        count; lower bins see geometrically more events; higher bins see
+        essentially none. At reduced frequency classes the whole
+        distribution shifts down one bin's worth of energy, thinning the
+        ceiling bin.
+        """
+        if activity <= 0:
+            raise ConfigurationError("activity factor must be positive")
+        ceiling = droop_bin_index(self.spec, utilized_pmds)
+        rng = random.Random(f"{self._seed}/{workload_name}/{utilized_pmds}")
+        rates: Dict[Tuple[int, int], float] = {}
+        freq_scale = {
+            FrequencyClass.HIGH: 1.0,
+            FrequencyClass.SKIP: 0.55,
+            FrequencyClass.DIVIDE: 0.2,
+        }[freq_class]
+        for index, bin_ in enumerate(DROOP_BINS_MV):
+            if index > ceiling:
+                rate = self.ABOVE_CEILING_RATE
+            else:
+                depth = ceiling - index
+                rate = (
+                    self.BASE_RATE_PER_MCYCLES
+                    * (self.LOWER_BIN_MULTIPLIER ** depth)
+                    * activity
+                    * freq_scale
+                )
+            if jitter and rate > self.ABOVE_CEILING_RATE:
+                rate *= 1.0 + 0.25 * (rng.random() - 0.5)
+            rates[bin_] = rate
+        return rates
+
+    def events_for_interval(
+        self,
+        utilized_pmds: int,
+        cycles: float,
+        freq_class: FrequencyClass = FrequencyClass.HIGH,
+        activity: float = 1.0,
+    ) -> Dict[Tuple[int, int], float]:
+        """Expected droop detections over ``cycles`` cycles, per bin."""
+        if cycles < 0:
+            raise ConfigurationError("cycles must be non-negative")
+        rates = self.rates_per_mcycles(
+            utilized_pmds, freq_class, activity, jitter=False
+        )
+        return {bin_: rate * cycles / 1e6 for bin_, rate in rates.items()}

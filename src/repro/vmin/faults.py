@@ -1,0 +1,185 @@
+"""Stochastic failure model below the safe Vmin (Section III.B, Fig. 5).
+
+Above the safe Vmin every run completes correctly; below it the
+probability that *at least one abnormal behaviour* occurs during a run
+rises smoothly until the system crash point, where every run fails. The
+observed abnormal behaviours are silent data corruptions (SDCs), process
+timeouts, thread hangs and full system crashes; close to the Vmin SDCs
+dominate (marginal timing failures corrupt data), deeper undervolting
+increasingly crashes the machine.
+
+The cumulative-failure-probability curve is a smoothstep over a
+configuration-dependent width: configurations with more utilized PMDs
+(larger droops) fail more steeply, matching the "most severe behaviour"
+of the max-threads lines in Fig. 5.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict
+
+from ..errors import (
+    ConfigurationError,
+    ProcessTimeout,
+    SilentDataCorruption,
+    SystemCrash,
+    ThreadHang,
+)
+from ..platform.pmu import DROOP_BINS_MV
+
+#: Outcome tags produced by :meth:`FaultModel.sample_outcome`.
+OUTCOME_PASS = "pass"
+OUTCOME_SDC = "sdc"
+OUTCOME_CRASH = "crash"
+OUTCOME_HANG = "hang"
+OUTCOME_TIMEOUT = "timeout"
+
+FAULT_OUTCOMES = (OUTCOME_SDC, OUTCOME_CRASH, OUTCOME_HANG, OUTCOME_TIMEOUT)
+
+_FAULT_CLASSES = {
+    OUTCOME_SDC: SilentDataCorruption,
+    OUTCOME_CRASH: SystemCrash,
+    OUTCOME_HANG: ThreadHang,
+    OUTCOME_TIMEOUT: ProcessTimeout,
+}
+
+
+def _smoothstep(x: float) -> float:
+    """C1-continuous ramp from 0 at x=0 to 1 at x=1."""
+    if x <= 0.0:
+        return 0.0
+    if x >= 1.0:
+        return 1.0
+    return x * x * (3.0 - 2.0 * x)
+
+
+@dataclass(frozen=True)
+class UnsafeRegion:
+    """Summary of the unsafe region below one configuration's Vmin."""
+
+    safe_vmin_mv: float
+    crash_voltage_mv: float
+
+    @property
+    def width_mv(self) -> float:
+        """Voltage span between first failures and certain failure."""
+        return self.safe_vmin_mv - self.crash_voltage_mv
+
+
+class FaultModel:
+    """Failure probability and failure-type sampling below the safe Vmin."""
+
+    #: Unsafe-region width at the mildest droop class, in mV.
+    MAX_WIDTH_MV = 50.0
+    #: Unsafe-region width shrinks this many mV per droop class: larger
+    #: droops make the failure cliff steeper (Fig. 5).
+    WIDTH_STEP_MV = 7.0
+    MIN_WIDTH_MV = 20.0
+
+    def width_mv(self, droop_class: int) -> float:
+        """Unsafe-region width for one droop class."""
+        if droop_class < 0 or droop_class >= len(DROOP_BINS_MV):
+            raise ConfigurationError(
+                f"droop class {droop_class} out of range"
+            )
+        return max(
+            self.MIN_WIDTH_MV,
+            self.MAX_WIDTH_MV - self.WIDTH_STEP_MV * droop_class,
+        )
+
+    def unsafe_region(
+        self, safe_vmin_mv: float, droop_class: int
+    ) -> UnsafeRegion:
+        """Safe Vmin and crash point for one configuration."""
+        return UnsafeRegion(
+            safe_vmin_mv=safe_vmin_mv,
+            crash_voltage_mv=safe_vmin_mv - self.width_mv(droop_class),
+        )
+
+    def pfail(
+        self, voltage_mv: float, safe_vmin_mv: float, droop_class: int
+    ) -> float:
+        """Cumulative probability that one run fails at ``voltage_mv``.
+
+        Zero at and above the safe Vmin, one at and below the crash
+        point, smooth in between (the shape of Fig. 5's curves).
+        """
+        depth = safe_vmin_mv - voltage_mv
+        if depth <= 0.0:
+            return 0.0
+        return _smoothstep(depth / self.width_mv(droop_class))
+
+    def depth_fraction(
+        self, voltage_mv: float, safe_vmin_mv: float, droop_class: int
+    ) -> float:
+        """Normalised depth below Vmin: 0 at Vmin, 1 at the crash point."""
+        depth = safe_vmin_mv - voltage_mv
+        width = self.width_mv(droop_class)
+        return min(1.0, max(0.0, depth / width))
+
+    def outcome_mix(
+        self, voltage_mv: float, safe_vmin_mv: float, droop_class: int
+    ) -> Dict[str, float]:
+        """Conditional distribution of failure types, given a failure.
+
+        Near the Vmin, SDCs and timeouts dominate (marginal timing
+        failures); near the crash point, system crashes dominate.
+        """
+        x = self.depth_fraction(voltage_mv, safe_vmin_mv, droop_class)
+        crash = 0.15 + 0.65 * x
+        sdc = max(0.05, 0.55 - 0.40 * x)
+        hang = 0.12 * (1.0 - 0.5 * x)
+        timeout = max(0.0, 1.0 - crash - sdc - hang)
+        total = crash + sdc + hang + timeout
+        return {
+            OUTCOME_CRASH: crash / total,
+            OUTCOME_SDC: sdc / total,
+            OUTCOME_HANG: hang / total,
+            OUTCOME_TIMEOUT: timeout / total,
+        }
+
+    def sample_outcome(
+        self,
+        voltage_mv: float,
+        safe_vmin_mv: float,
+        droop_class: int,
+        rng: random.Random,
+    ) -> str:
+        """Draw one run outcome: ``pass`` or one of the failure tags."""
+        p = self.pfail(voltage_mv, safe_vmin_mv, droop_class)
+        if rng.random() >= p:
+            return OUTCOME_PASS
+        mix = self.outcome_mix(voltage_mv, safe_vmin_mv, droop_class)
+        draw = rng.random()
+        cumulative = 0.0
+        for outcome, weight in mix.items():
+            cumulative += weight
+            if draw < cumulative:
+                return outcome
+        return OUTCOME_CRASH  # pragma: no cover - float rounding guard
+
+    def raise_for_outcome(
+        self, outcome: str, voltage_mv: float
+    ) -> None:
+        """Raise the matching :class:`VoltageFault` for a failed outcome."""
+        if outcome == OUTCOME_PASS:
+            return
+        fault = _FAULT_CLASSES.get(outcome)
+        if fault is None:
+            raise ConfigurationError(f"unknown outcome {outcome!r}")
+        raise fault(voltage_mv)
+
+    def probability_all_pass(
+        self,
+        voltage_mv: float,
+        safe_vmin_mv: float,
+        droop_class: int,
+        runs: int,
+    ) -> float:
+        """Probability that ``runs`` independent runs all pass."""
+        if runs < 0:
+            raise ConfigurationError("runs must be non-negative")
+        p = self.pfail(voltage_mv, safe_vmin_mv, droop_class)
+        return (1.0 - p) ** runs

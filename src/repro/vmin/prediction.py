@@ -1,0 +1,227 @@
+"""Regression-based Vmin prediction — the approach the paper rejects.
+
+Section VI.A: *"we do not use any sophisticated mechanism for predicting
+the safe Vmin because the prediction schemes for Vmin that have been
+proposed in the literature are error-prone and can lead to system
+failures in real microprocessors"* (citing linear-regression performance
+/ power models [27], [28] among others).
+
+To give that argument a concrete baseline, this module implements such a
+predictor: ordinary least squares over configuration features (utilized
+PMDs, frequency class, active cores, workload L3 rate and activity),
+trained on a *sample* of characterization measurements. The evaluation
+API then quantifies exactly what the paper warns about: a predictor with
+a small mean error still underpredicts a tail of configurations, and an
+underprediction is a crash — unless a guard margin large enough to
+erase the predictor's advantage is added back.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..allocation import Allocation, cores_for
+from ..errors import ConfigurationError
+from ..platform.specs import ChipSpec, FrequencyClass
+from ..workloads.profiles import BenchmarkProfile
+from ..workloads.suites import characterization_set
+from .model import VminModel
+
+_FREQ_CLASS_ORDINAL = {
+    FrequencyClass.DIVIDE: 0.0,
+    FrequencyClass.SKIP: 1.0,
+    FrequencyClass.HIGH: 2.0,
+}
+
+
+@dataclass(frozen=True)
+class TrainingPoint:
+    """One characterization measurement used for fitting."""
+
+    nthreads: int
+    allocation: Allocation
+    freq_hz: int
+    benchmark: str
+    vmin_mv: float
+    features: Tuple[float, ...]
+
+
+def _features(
+    spec: ChipSpec,
+    cores: Sequence[int],
+    freq_hz: int,
+    profile: BenchmarkProfile,
+) -> Tuple[float, ...]:
+    pmds = {spec.pmd_of_core(c) for c in cores}
+    freq_class = spec.frequency_class(spec.nearest_frequency(freq_hz))
+    return (
+        1.0,  # intercept
+        len(pmds) / spec.n_pmds,
+        len(cores) / spec.n_cores,
+        _FREQ_CLASS_ORDINAL[freq_class],
+        freq_hz / spec.fmax_hz,
+        min(1.0, profile.l3_rate_per_mcycles / 10000.0),
+        profile.activity,
+    )
+
+
+@dataclass
+class PredictionReport:
+    """Accuracy summary of a fitted predictor on held-out points."""
+
+    mean_abs_error_mv: float
+    max_underprediction_mv: float
+    underpredicted_configs: int
+    total_configs: int
+
+    @property
+    def underprediction_rate(self) -> float:
+        """Fraction of configurations predicted below the true Vmin."""
+        if self.total_configs == 0:
+            return 0.0
+        return self.underpredicted_configs / self.total_configs
+
+
+class VminPredictor:
+    """Least-squares Vmin model over configuration features."""
+
+    def __init__(self, spec: ChipSpec):
+        self.spec = spec
+        self._weights: Optional[np.ndarray] = None
+        self.training_points: List[TrainingPoint] = []
+
+    @property
+    def is_fitted(self) -> bool:
+        """True once :meth:`fit` ran."""
+        return self._weights is not None
+
+    # -- data generation -----------------------------------------------------
+
+    def sample_configurations(
+        self,
+        vmin_model: VminModel,
+        benchmarks: Optional[Sequence[BenchmarkProfile]] = None,
+        fraction: float = 0.3,
+        seed: int = 0,
+    ) -> List[TrainingPoint]:
+        """Characterize a random sample of the configuration space.
+
+        This mimics the realistic setting: nobody measures every
+        (threads, allocation, frequency, benchmark) combination, so the
+        predictor generalises from a subset — which is where the tail
+        risk comes from.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ConfigurationError("fraction must be in (0, 1]")
+        pool = list(benchmarks) if benchmarks else characterization_set()
+        rng = random.Random(seed)
+        points: List[TrainingPoint] = []
+        for nthreads in range(1, self.spec.n_cores + 1):
+            for allocation in (Allocation.CLUSTERED, Allocation.SPREADED):
+                cores = cores_for(self.spec, nthreads, allocation)
+                for freq_hz in self.spec.frequency_steps():
+                    for profile in pool:
+                        if rng.random() > fraction:
+                            continue
+                        vmin = vmin_model.safe_vmin_mv(
+                            freq_hz, cores, profile.vmin_delta_mv
+                        )
+                        points.append(
+                            TrainingPoint(
+                                nthreads=nthreads,
+                                allocation=allocation,
+                                freq_hz=freq_hz,
+                                benchmark=profile.name,
+                                vmin_mv=vmin,
+                                features=_features(
+                                    self.spec, cores, freq_hz, profile
+                                ),
+                            )
+                        )
+        return points
+
+    # -- fitting and prediction -------------------------------------------------
+
+    def fit(self, points: Sequence[TrainingPoint]) -> "VminPredictor":
+        """Fit the least-squares model on measured points."""
+        if len(points) < 10:
+            raise ConfigurationError(
+                f"need at least 10 training points, got {len(points)}"
+            )
+        self.training_points = list(points)
+        design = np.array([p.features for p in points])
+        target = np.array([p.vmin_mv for p in points])
+        self._weights, *_ = np.linalg.lstsq(design, target, rcond=None)
+        return self
+
+    def predict_mv(
+        self,
+        cores: Sequence[int],
+        freq_hz: int,
+        profile: BenchmarkProfile,
+        guard_mv: float = 0.0,
+    ) -> float:
+        """Predicted safe Vmin for a configuration (plus a guard)."""
+        if not self.is_fitted:
+            raise ConfigurationError("predictor is not fitted")
+        features = np.array(
+            _features(self.spec, cores, freq_hz, profile)
+        )
+        return float(features @ self._weights) + guard_mv
+
+    # -- evaluation ---------------------------------------------------------------
+
+    def evaluate(
+        self,
+        vmin_model: VminModel,
+        benchmarks: Optional[Sequence[BenchmarkProfile]] = None,
+        guard_mv: float = 0.0,
+    ) -> PredictionReport:
+        """Score the predictor against the full configuration space."""
+        if not self.is_fitted:
+            raise ConfigurationError("predictor is not fitted")
+        pool = list(benchmarks) if benchmarks else characterization_set()
+        abs_errors: List[float] = []
+        max_under = 0.0
+        under = 0
+        total = 0
+        for nthreads in range(1, self.spec.n_cores + 1):
+            for allocation in (Allocation.CLUSTERED, Allocation.SPREADED):
+                cores = cores_for(self.spec, nthreads, allocation)
+                for freq_hz in self.spec.frequency_steps():
+                    for profile in pool:
+                        truth = vmin_model.safe_vmin_mv(
+                            freq_hz, cores, profile.vmin_delta_mv
+                        )
+                        predicted = self.predict_mv(
+                            cores, freq_hz, profile, guard_mv
+                        )
+                        total += 1
+                        abs_errors.append(abs(predicted - truth))
+                        if predicted < truth:
+                            under += 1
+                            max_under = max(max_under, truth - predicted)
+        return PredictionReport(
+            mean_abs_error_mv=float(np.mean(abs_errors)),
+            max_underprediction_mv=max_under,
+            underpredicted_configs=under,
+            total_configs=total,
+        )
+
+    def required_guard_mv(
+        self,
+        vmin_model: VminModel,
+        benchmarks: Optional[Sequence[BenchmarkProfile]] = None,
+    ) -> float:
+        """Guard margin that would make this predictor never underpredict.
+
+        This is the paper's point in one number: by the time the guard
+        covers the predictor's tail, the predictor has given back most
+        of the margin it promised to reclaim.
+        """
+        report = self.evaluate(vmin_model, benchmarks, guard_mv=0.0)
+        return report.max_underprediction_mv

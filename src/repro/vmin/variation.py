@@ -1,0 +1,109 @@
+"""Static per-core manufacturing variation of the safe Vmin (Fig. 4).
+
+In single- and two-core executions the paper measures up to ~30 mV
+core-to-core Vmin variation on X-Gene 2 and up to ~20 mV combined
+variation on X-Gene 3: PMD2 (cores 4 and 5) is the most robust module of
+the characterized X-Gene 2 chip, while PMD0 and PMD1 are the most
+sensitive. This module generates that static variation map.
+
+``silicon_seed=0`` reproduces the specific chips of the paper (the PMD2
+pattern above). Any other seed draws a random chip from the same
+population, which is how the test-suite exercises chip-to-chip variation.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..errors import ConfigurationError
+from ..platform.specs import ChipSpec
+
+#: Hand-laid offsets (mV above the chip's base Vmin) for the paper's
+#: X-Gene 2 chip: PMD0/PMD1 sensitive, PMD2 robust, PMD3 intermediate.
+_XGENE2_PAPER_OFFSETS: Tuple[float, ...] = (
+    24.0, 27.0,  # PMD0 - most sensitive
+    22.0, 26.0,  # PMD1 - sensitive
+    2.0, 4.0,    # PMD2 - most robust (Fig. 4)
+    12.0, 15.0,  # PMD3 - intermediate
+)
+
+#: Maximum static core offset per chip family, mV (Section III.A).
+_MAX_OFFSET_MV = {
+    "X-Gene 2": 30.0,
+    "X-Gene 3": 12.0,
+}
+_DEFAULT_MAX_OFFSET_MV = 25.0
+
+
+@dataclass(frozen=True)
+class CoreVariationMap:
+    """Per-core static Vmin offsets (mV) for one silicon instance."""
+
+    spec_name: str
+    offsets_mv: Tuple[float, ...]
+
+    def offset_of(self, core_id: int) -> float:
+        """Static Vmin offset of one core, in mV."""
+        if not 0 <= core_id < len(self.offsets_mv):
+            raise ConfigurationError(
+                f"{self.spec_name}: core {core_id} out of range"
+            )
+        return self.offsets_mv[core_id]
+
+    def max_offset(self, core_ids) -> float:
+        """Worst (largest) offset among a set of cores; 0 for empty set."""
+        ids = list(core_ids)
+        if not ids:
+            return 0.0
+        return max(self.offset_of(c) for c in ids)
+
+    def most_robust_pmd(self, spec: ChipSpec) -> int:
+        """PMD whose worst core has the smallest offset."""
+        return min(
+            range(spec.n_pmds),
+            key=lambda p: max(
+                self.offset_of(c) for c in spec.cores_of_pmd(p)
+            ),
+        )
+
+    def most_sensitive_pmd(self, spec: ChipSpec) -> int:
+        """PMD whose worst core has the largest offset."""
+        return max(
+            range(spec.n_pmds),
+            key=lambda p: max(
+                self.offset_of(c) for c in spec.cores_of_pmd(p)
+            ),
+        )
+
+    def span_mv(self) -> float:
+        """Difference between the most and least sensitive core."""
+        return max(self.offsets_mv) - min(self.offsets_mv)
+
+
+def max_core_offset_mv(spec: ChipSpec) -> float:
+    """Largest static offset possible for a chip family, in mV."""
+    return _MAX_OFFSET_MV.get(spec.name, _DEFAULT_MAX_OFFSET_MV)
+
+
+def make_variation_map(spec: ChipSpec, silicon_seed: int = 0) -> CoreVariationMap:
+    """Build the static variation map for one silicon instance.
+
+    Seed 0 on X-Gene 2 reproduces the paper's chip (robust PMD2); every
+    other (spec, seed) pair draws offsets uniformly in
+    ``[0, max_core_offset_mv(spec)]`` with mild within-PMD correlation,
+    since the two cores of a PMD share layout and supply routing.
+    """
+    if silicon_seed == 0 and spec.name == "X-Gene 2":
+        return CoreVariationMap(spec.name, _XGENE2_PAPER_OFFSETS)
+
+    rng = random.Random((spec.name, silicon_seed).__repr__())
+    limit = max_core_offset_mv(spec)
+    offsets = []
+    for pmd in range(spec.n_pmds):
+        pmd_bias = rng.uniform(0.0, limit * 0.8)
+        for _ in spec.cores_of_pmd(pmd):
+            wiggle = rng.uniform(0.0, limit * 0.2)
+            offsets.append(round(min(limit, pmd_bias + wiggle), 1))
+    return CoreVariationMap(spec.name, tuple(offsets))

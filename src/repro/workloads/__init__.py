@@ -1,0 +1,61 @@
+"""Workload substrate: benchmark profiles, suites, server-load generator."""
+
+from .generator import (
+    JobSpec,
+    LoadPhase,
+    ServerWorkloadGenerator,
+    Workload,
+)
+from .phases import (
+    AnyBenchmark,
+    PhasedBenchmark,
+    WorkloadPhase,
+    all_phased,
+    get_phased,
+    make_phased,
+    phase_boundaries,
+    profile_at,
+    resolve_benchmark,
+)
+from .profiles import REFERENCE_FREQ_HZ, BenchmarkProfile, Suite
+from .stressmarks import didt_virus, memory_virus, stressmark_set
+from .suites import (
+    CHARACTERIZATION_SPEC,
+    FIGURE11_SET,
+    all_benchmarks,
+    characterization_set,
+    evaluation_pool,
+    figure11_set,
+    get_benchmark,
+    suite_benchmarks,
+)
+
+__all__ = [
+    "AnyBenchmark",
+    "BenchmarkProfile",
+    "CHARACTERIZATION_SPEC",
+    "FIGURE11_SET",
+    "JobSpec",
+    "LoadPhase",
+    "PhasedBenchmark",
+    "WorkloadPhase",
+    "REFERENCE_FREQ_HZ",
+    "ServerWorkloadGenerator",
+    "Suite",
+    "Workload",
+    "all_benchmarks",
+    "all_phased",
+    "characterization_set",
+    "didt_virus",
+    "evaluation_pool",
+    "figure11_set",
+    "get_benchmark",
+    "get_phased",
+    "make_phased",
+    "memory_virus",
+    "phase_boundaries",
+    "profile_at",
+    "resolve_benchmark",
+    "stressmark_set",
+    "suite_benchmarks",
+]

@@ -1,0 +1,123 @@
+"""Benchmark profile model.
+
+Real NPB / SPEC CPU2006 / PARSEC binaries cannot run against a simulated
+chip, so each benchmark is represented by a *profile*: the handful of
+coarse-grain characteristics that the paper's models and daemon actually
+interact with. Profiles are calibrated so the paper's published
+classifications and orderings emerge from the models (Figs. 7-9) rather
+than being hard-coded labels:
+
+* ``mem_fraction`` — fraction of solo single-thread runtime (at the
+  reference clock) stalled on the lower memory hierarchy (L3 + DRAM);
+  this part of the runtime does not scale with core frequency
+  (Section IV.B).
+* ``l3_rate_per_mcycles`` — L3-cache accesses per million cycles in a
+  solo run at the reference clock; the daemon's classification metric
+  (Fig. 9, threshold 3 K).
+* ``bandwidth_gbs`` — DRAM bandwidth demand of one running thread at the
+  reference clock, which drives the shared-memory contention model
+  (Fig. 8).
+* ``l2_sensitivity`` — how much the benchmark suffers when sharing its
+  PMD's 256 KB L2 with a sibling thread (clustered allocation, Fig. 7).
+* ``activity`` — switching-activity factor (~IPC-proportional) scaling
+  dynamic power and droop-event rates.
+* ``vmin_delta_mv`` — the benchmark's single-core safe-Vmin delta
+  (Section III.A measures up to ~40 mV workload variation in single-core
+  runs; the delta fades with active cores per the Vmin model).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+#: Reference clock at which profile numbers are defined (X-Gene 3 fmax).
+REFERENCE_FREQ_HZ = 3_000_000_000
+
+
+class Suite(enum.Enum):
+    """Benchmark suite of origin."""
+
+    NPB = "NPB"
+    SPEC_CPU2006 = "SPEC CPU2006"
+    PARSEC = "PARSEC"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class BenchmarkProfile:
+    """Coarse-grain model of one benchmark (see module docstring)."""
+
+    name: str
+    suite: Suite
+    #: True for work-splitting parallel programs (NPB, PARSEC): N threads
+    #: share one unit of work. False for SPEC: N copies do N units
+    #: (Section II.B's normalization discussion).
+    parallel: bool
+    #: Solo single-thread execution time at the reference clock, seconds.
+    ref_time_s: float
+    mem_fraction: float
+    l3_rate_per_mcycles: float
+    bandwidth_gbs: float
+    l2_sensitivity: float
+    activity: float
+    vmin_delta_mv: float
+    #: Parallel-section efficiency for work-splitting programs.
+    parallel_efficiency: float = 0.95
+    #: "INT"/"FP" for SPEC CPU2006, empty otherwise.
+    spec_class: str = ""
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.mem_fraction <= 1.0:
+            raise ConfigurationError(
+                f"{self.name}: mem_fraction must be in [0, 1]"
+            )
+        if self.ref_time_s <= 0:
+            raise ConfigurationError(f"{self.name}: ref_time_s must be > 0")
+        if self.l3_rate_per_mcycles < 0 or self.bandwidth_gbs < 0:
+            raise ConfigurationError(
+                f"{self.name}: rates must be non-negative"
+            )
+        if not 0.0 <= self.l2_sensitivity <= 1.0:
+            raise ConfigurationError(
+                f"{self.name}: l2_sensitivity must be in [0, 1]"
+            )
+        if self.activity <= 0:
+            raise ConfigurationError(f"{self.name}: activity must be > 0")
+        if not 0.0 < self.parallel_efficiency <= 1.0:
+            raise ConfigurationError(
+                f"{self.name}: parallel_efficiency must be in (0, 1]"
+            )
+
+    @property
+    def cpu_fraction(self) -> float:
+        """Fraction of solo runtime spent in the core+L1+L2 part."""
+        return 1.0 - self.mem_fraction
+
+    @property
+    def cpu_cycles(self) -> float:
+        """Core-bound cycles of one unit of work (frequency-invariant)."""
+        return self.ref_time_s * self.cpu_fraction * REFERENCE_FREQ_HZ
+
+    @property
+    def mem_time_s(self) -> float:
+        """Memory-bound seconds of one unit of work at reference speed."""
+        return self.ref_time_s * self.mem_fraction
+
+    @property
+    def droop_activity(self) -> float:
+        """Switching-activity factor reused by the droop-event model."""
+        return self.activity
+
+    def is_memory_intensive_reference(self, threshold: float = 3000.0) -> bool:
+        """Ground-truth class at the reference operating point.
+
+        This is what the profile *is*; the daemon must instead *infer*
+        the class from PMU readings (which shift with frequency and
+        contention), exactly as on hardware.
+        """
+        return self.l3_rate_per_mcycles > threshold

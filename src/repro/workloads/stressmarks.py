@@ -1,0 +1,70 @@
+"""Stressmarks (micro-viruses) for fast worst-case characterization.
+
+The paper's group previously built "micro-viruses for fast system-level
+voltage margins characterization" (reference [18]) and cites automated
+dI/dt stressmark generation ([37], [38]): tiny kernels engineered to be
+*worse* than any real workload on the axis being characterized, so a
+campaign over one stressmark bounds the campaign over a whole benchmark
+suite.
+
+Two synthetic viruses are provided:
+
+* :func:`didt_virus` — maximum switching activity and the worst
+  workload Vmin delta the population allows: a current-step generator
+  that bounds the voltage-noise behaviour of every real profile;
+* :func:`memory_virus` — saturates the memory system: the worst case
+  for bandwidth contention and uncore activity.
+
+:func:`stressmark_set` feeds them to
+:meth:`~repro.core.policy.VminPolicyTable.from_characterization` for a
+table that is as safe as the 25-benchmark campaign at a fraction of the
+measurement cost (see the stressmark characterization tests).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..vmin.model import workload_delta_limit_mv
+from .profiles import BenchmarkProfile, Suite
+
+
+def didt_virus() -> BenchmarkProfile:
+    """A dI/dt stressmark: worst-case switching and Vmin delta.
+
+    Its ``vmin_delta_mv`` sits at the population limit, so any safe-Vmin
+    measured while it runs upper-bounds every real program's.
+    """
+    return BenchmarkProfile(
+        name="didt_virus",
+        suite=Suite.SPEC_CPU2006,
+        parallel=False,
+        ref_time_s=10.0,
+        mem_fraction=0.02,
+        l3_rate_per_mcycles=50.0,
+        bandwidth_gbs=0.05,
+        l2_sensitivity=0.0,
+        activity=1.6,
+        vmin_delta_mv=workload_delta_limit_mv(),
+    )
+
+
+def memory_virus() -> BenchmarkProfile:
+    """A memory stressmark: saturates the L3/DRAM path."""
+    return BenchmarkProfile(
+        name="memory_virus",
+        suite=Suite.SPEC_CPU2006,
+        parallel=False,
+        ref_time_s=10.0,
+        mem_fraction=0.9,
+        l3_rate_per_mcycles=16000.0,
+        bandwidth_gbs=9.0,
+        l2_sensitivity=0.8,
+        activity=0.9,
+        vmin_delta_mv=workload_delta_limit_mv() * 0.5,
+    )
+
+
+def stressmark_set() -> List[BenchmarkProfile]:
+    """The micro-virus pool for fast worst-case characterization."""
+    return [didt_virus(), memory_virus()]

@@ -1,0 +1,167 @@
+"""Tests for the online monitoring daemon end to end (paper Section VI)."""
+
+import pytest
+
+from repro.core.daemon import OnlineMonitoringDaemon, SafeVminController
+from repro.platform.chip import Chip
+from repro.platform.specs import xgene2_spec, xgene3_spec
+from repro.sim.process import WorkloadClass
+from repro.sim.system import ServerSystem
+from repro.workloads.generator import JobSpec, Workload
+
+
+def make_workload(jobs, duration=600.0, max_cores=8):
+    return Workload(
+        jobs=tuple(
+            JobSpec(job_id=i, benchmark=name, nthreads=n, start_time_s=t)
+            for i, (name, n, t) in enumerate(jobs)
+        ),
+        duration_s=duration,
+        max_cores=max_cores,
+        seed=0,
+    )
+
+
+def run_daemon(jobs, spec=None, policy=None, **daemon_kwargs):
+    spec = spec or xgene2_spec()
+    chip = Chip(spec)
+    daemon = OnlineMonitoringDaemon(spec, policy=policy, **daemon_kwargs)
+    system = ServerSystem(chip, make_workload(jobs), daemon)
+    return system.run(), system, daemon
+
+
+class TestDaemonSafety:
+    def test_never_violates_vmin(self, policy2):
+        result, _, _ = run_daemon(
+            [("CG", 4, 0.0), ("namd", 1, 5.0), ("milc", 1, 10.0)],
+            policy=policy2,
+        )
+        assert result.violations == []
+
+    def test_all_jobs_complete(self, policy2):
+        result, _, _ = run_daemon(
+            [("CG", 4, 0.0), ("namd", 1, 5.0), ("EP", 2, 10.0)],
+            policy=policy2,
+        )
+        assert all(p.finish_s is not None for p in result.processes)
+
+    def test_voltage_below_nominal_while_running(self, policy2, spec2):
+        result, system, _ = run_daemon(
+            [("namd", 2, 0.0)], policy=policy2
+        )
+        voltages = [s.voltage_mv for s in result.trace.samples]
+        assert min(voltages) < spec2.nominal_voltage_mv
+
+    def test_fail_safe_raises_before_lowering(self, policy2):
+        # Voltage transitions around a new process first go up (or stay),
+        # then settle: no transition sequence may dip below the level
+        # required mid-flight. The audit (zero violations) plus at least
+        # one raise-then-lower pair proves the ordering.
+        result, system, _ = run_daemon(
+            [("CG", 2, 0.0), ("namd", 4, 30.0)], policy=policy2
+        )
+        transitions = system.chip.slimpro.transitions
+        ups = [t for t in transitions if t.to_mv > t.from_mv]
+        downs = [t for t in transitions if t.to_mv < t.from_mv]
+        assert ups and downs
+        assert result.violations == []
+
+
+class TestClassificationFlow:
+    def test_memory_job_gets_classified(self, policy2):
+        result, _, _ = run_daemon([("CG", 2, 0.0)], policy=policy2)
+        cg = result.processes[0]
+        assert cg.observed_class is WorkloadClass.MEMORY_INTENSIVE
+
+    def test_cpu_job_gets_classified(self, policy2):
+        result, _, _ = run_daemon([("namd", 1, 0.0)], policy=policy2)
+        assert (
+            result.processes[0].observed_class
+            is WorkloadClass.CPU_INTENSIVE
+        )
+
+    def test_memory_job_slowed_to_mem_freq(self, policy2, spec2):
+        _, system, daemon = run_daemon([("CG", 2, 0.0)], policy=policy2)
+        # After the run the last configured frequency of CG's PMDs was
+        # the memory frequency; check the transition log.
+        mem_freq = daemon.engine.mem_freq_hz
+        assert any(
+            t.to_hz == mem_freq for t in system.chip.cppc.transitions
+        )
+
+    def test_retunes_counted(self, policy2):
+        _, _, daemon = run_daemon([("CG", 2, 0.0)], policy=policy2)
+        assert daemon.retunes >= 1  # UNKNOWN -> memory triggers one
+
+    def test_replans_on_arrivals_and_exits(self, policy2):
+        _, _, daemon = run_daemon(
+            [("EP", 2, 0.0), ("EP", 2, 1.0)], policy=policy2
+        )
+        # on_start + 2 starts + 2 exits.
+        assert daemon.replans == 5
+
+
+class TestPlacementConfigDaemon:
+    def test_voltage_stays_nominal(self, policy2, spec2):
+        result, system, _ = run_daemon(
+            [("CG", 2, 0.0), ("namd", 1, 5.0)],
+            policy=policy2,
+            control_voltage=False,
+        )
+        assert system.chip.slimpro.transition_count() == 0
+        assert all(
+            s.voltage_mv == spec2.nominal_voltage_mv
+            for s in result.trace.samples
+        )
+
+    def test_still_controls_frequency(self, policy2):
+        _, system, _ = run_daemon(
+            [("CG", 2, 0.0)], policy=policy2, control_voltage=False
+        )
+        assert system.chip.cppc.transition_count() > 0
+
+
+class TestSafeVminController:
+    def test_no_violations(self, policy3, spec3):
+        chip = Chip(spec3)
+        controller = SafeVminController(spec3, policy=policy3)
+        system = ServerSystem(
+            chip,
+            make_workload(
+                [("CG", 4, 0.0), ("namd", 1, 5.0)], max_cores=32
+            ),
+            controller,
+        )
+        result = system.run()
+        assert result.violations == []
+
+    def test_voltage_tracks_utilized_pmds(self, policy3, spec3):
+        chip = Chip(spec3)
+        controller = SafeVminController(spec3, policy=policy3)
+        system = ServerSystem(
+            chip,
+            make_workload([("EP", 8, 0.0)], max_cores=32),
+            controller,
+        )
+        result = system.run()
+        busy_voltages = {
+            s.voltage_mv
+            for s in result.trace.samples
+            if s.busy_cores > 0
+        }
+        # 8 spreaded threads -> 8 PMDs at fmax.
+        assert policy3.safe_voltage_mv(8, spec3.fmax_hz) in busy_voltages
+
+    def test_keeps_ondemand_frequencies(self, policy3, spec3):
+        chip = Chip(spec3)
+        controller = SafeVminController(spec3, policy=policy3)
+        system = ServerSystem(
+            chip,
+            make_workload([("EP", 4, 0.0)], max_cores=32),
+            controller,
+        )
+        result = system.run()
+        busy = [s for s in result.trace.samples if s.busy_cores > 0]
+        assert all(
+            s.mean_active_freq_hz == spec3.fmax_hz for s in busy
+        )

@@ -1,0 +1,146 @@
+"""Tests for the daemon's placement engine (paper Fig. 13)."""
+
+import pytest
+
+from repro.core.placement import (
+    PlacementEngine,
+    default_memory_frequency_hz,
+)
+from repro.errors import PlacementError
+from repro.sim.process import SimProcess, WorkloadClass
+from repro.units import ghz
+from repro.workloads.suites import get_benchmark
+
+
+def proc(pid, name, nthreads, cls):
+    process = SimProcess(
+        pid=pid,
+        profile=get_benchmark(name),
+        nthreads=nthreads,
+        arrival_s=0.0,
+    )
+    process.observed_class = cls
+    return process
+
+
+CPU = WorkloadClass.CPU_INTENSIVE
+MEM = WorkloadClass.MEMORY_INTENSIVE
+UNKNOWN = WorkloadClass.UNKNOWN
+
+
+class TestMemoryFrequency:
+    def test_xgene2_uses_clock_division_point(self, spec2):
+        # Section V: 0.9 GHz is the X-Gene 2 energy sweet spot.
+        assert default_memory_frequency_hz(spec2) == ghz(0.9)
+
+    def test_xgene3_uses_half_clock(self, spec3):
+        assert default_memory_frequency_hz(spec3) == ghz(1.5)
+
+
+class TestPlanning:
+    def test_cpu_jobs_clustered(self, spec3):
+        engine = PlacementEngine(spec3)
+        plan = engine.plan([proc(1, "namd", 4, CPU)])
+        cores = plan.assignments[1]
+        pmds = {spec3.pmd_of_core(c) for c in cores}
+        assert len(pmds) == 2  # 4 threads on 2 PMDs
+
+    def test_memory_jobs_spreaded(self, spec3):
+        engine = PlacementEngine(spec3)
+        plan = engine.plan([proc(1, "CG", 4, MEM)])
+        cores = plan.assignments[1]
+        pmds = {spec3.pmd_of_core(c) for c in cores}
+        assert len(pmds) == 4  # one PMD per thread
+
+    def test_unknown_treated_as_cpu(self, spec3):
+        # The fail-safe default of Fig. 13.
+        engine = PlacementEngine(spec3)
+        plan = engine.plan([proc(1, "CG", 4, UNKNOWN)])
+        pmd0 = spec3.pmd_of_core(plan.assignments[1][0])
+        assert plan.pmd_freqs_hz[pmd0] == spec3.fmax_hz
+
+    def test_mixed_groups_separated(self, spec3):
+        engine = PlacementEngine(spec3)
+        plan = engine.plan(
+            [proc(1, "namd", 2, CPU), proc(2, "CG", 2, MEM)]
+        )
+        cpu_pmds = {spec3.pmd_of_core(c) for c in plan.assignments[1]}
+        mem_pmds = {spec3.pmd_of_core(c) for c in plan.assignments[2]}
+        assert cpu_pmds.isdisjoint(mem_pmds)
+        for pmd in cpu_pmds:
+            assert plan.pmd_freqs_hz[pmd] == spec3.fmax_hz
+        for pmd in mem_pmds:
+            assert plan.pmd_freqs_hz[pmd] == engine.mem_freq_hz
+
+    def test_idle_pmds_parked(self, spec3):
+        engine = PlacementEngine(spec3)
+        plan = engine.plan([proc(1, "namd", 2, CPU)])
+        idle_pmds = [
+            pmd
+            for pmd in range(spec3.n_pmds)
+            if plan.pmd_freqs_hz[pmd] == engine.idle_freq_hz
+        ]
+        assert len(idle_pmds) == spec3.n_pmds - 1
+
+    def test_voltage_from_policy(self, spec3, policy3):
+        engine = PlacementEngine(spec3, policy=policy3)
+        plan = engine.plan([proc(1, "namd", 2, CPU)])
+        assert plan.voltage_mv == policy3.safe_voltage_mv(
+            1, spec3.fmax_hz
+        )
+
+    def test_voltage_disabled(self, spec3, policy3):
+        engine = PlacementEngine(
+            spec3, policy=policy3, control_voltage=False
+        )
+        plan = engine.plan([proc(1, "namd", 2, CPU)])
+        assert plan.voltage_mv is None
+
+    def test_all_memory_drops_to_low_freq_voltage(self, spec2, policy2):
+        # All-memory moments unlock the clock-division voltage on
+        # X-Gene 2 (the Optimal configuration's deepest savings).
+        engine = PlacementEngine(spec2, policy=policy2)
+        plan = engine.plan([proc(1, "CG", 2, MEM)])
+        assert plan.max_active_freq_hz == ghz(0.9)
+        assert plan.voltage_mv == policy2.safe_voltage_mv(2, ghz(0.9))
+
+    def test_over_capacity_rejected(self, spec2):
+        engine = PlacementEngine(spec2)
+        with pytest.raises(PlacementError):
+            engine.plan(
+                [proc(1, "namd", 8, CPU), proc(2, "CG", 1, MEM)]
+            )
+
+    def test_full_chip_plan(self, spec3):
+        engine = PlacementEngine(spec3)
+        processes = [
+            proc(i, "namd" if i % 2 else "CG", 4, CPU if i % 2 else MEM)
+            for i in range(8)
+        ]
+        plan = engine.plan(processes)
+        all_cores = [c for cores in plan.assignments.values() for c in cores]
+        assert sorted(all_cores) == list(range(32))
+
+    def test_utilized_pmd_accounting(self, spec3):
+        engine = PlacementEngine(spec3)
+        plan = engine.plan(
+            [proc(1, "namd", 4, CPU), proc(2, "CG", 3, MEM)]
+        )
+        assert plan.utilized_pmds == 2 + 3
+
+
+class TestRetune:
+    def test_retune_keeps_assignment(self, spec3):
+        engine = PlacementEngine(spec3)
+        process = proc(1, "CG", 2, MEM)
+        process.start(0.0, (0, 2))
+        plan = engine.retune([process])
+        assert plan.assignments[1] == (0, 2)
+
+    def test_retune_adjusts_frequency_to_class(self, spec3):
+        engine = PlacementEngine(spec3)
+        process = proc(1, "CG", 2, MEM)
+        process.start(0.0, (0, 2))
+        plan = engine.retune([process])
+        assert plan.pmd_freqs_hz[0] == engine.mem_freq_hz
+        assert plan.pmd_freqs_hz[1] == engine.mem_freq_hz

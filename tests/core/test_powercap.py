@@ -1,0 +1,116 @@
+"""Tests for the DVFS power-capping controllers."""
+
+import pytest
+
+from repro.core.powercap import CappedDaemonController, PowerCapController
+from repro.errors import ConfigurationError
+from repro.platform.chip import Chip
+from repro.platform.specs import xgene2_spec, xgene3_spec
+from repro.sim.controllers import BaselineController
+from repro.sim.system import ServerSystem
+from repro.workloads.generator import JobSpec, ServerWorkloadGenerator, Workload
+
+
+def heavy_workload(max_cores=8):
+    """Enough simultaneous CPU-bound work to exceed a tight cap."""
+    jobs = tuple(
+        JobSpec(job_id=i, benchmark="namd", nthreads=1, start_time_s=0.0)
+        for i in range(max_cores)
+    )
+    return Workload(
+        jobs=jobs, duration_s=600.0, max_cores=max_cores, seed=0
+    )
+
+
+class TestPowerCapController:
+    def test_throttles_above_cap(self):
+        spec = xgene2_spec()
+        chip = Chip(spec)
+        # Uncapped, 8x namd draws well above 10 W on this model.
+        capper = PowerCapController(spec, cap_w=10.0)
+        result = ServerSystem(chip, heavy_workload(), capper).run()
+        assert capper.throttle_events > 0
+        trace_power = result.trace.power_series()
+        busy_power = [
+            p for p, s in zip(trace_power, result.trace.samples)
+            if s.busy_cores > 0
+        ]
+        # Steady-state power respects the cap (allow the settle window).
+        assert sorted(busy_power)[len(busy_power) // 2] <= 11.0
+
+    def test_cap_slows_execution(self):
+        spec = xgene2_spec()
+        uncapped = ServerSystem(
+            Chip(spec), heavy_workload(), BaselineController()
+        ).run()
+        capped = ServerSystem(
+            Chip(spec), heavy_workload(), PowerCapController(spec, 10.0)
+        ).run()
+        assert capped.makespan_s > uncapped.makespan_s
+
+    def test_loose_cap_never_throttles(self):
+        spec = xgene2_spec()
+        capper = PowerCapController(spec, cap_w=500.0)
+        ServerSystem(Chip(spec), heavy_workload(), capper).run()
+        assert capper.throttle_events == 0
+        assert capper.ceiling_hz == spec.fmax_hz
+
+    def test_release_after_load_drops(self):
+        spec = xgene2_spec()
+        jobs = tuple(
+            JobSpec(job_id=i, benchmark="namd", nthreads=1,
+                    start_time_s=0.0)
+            for i in range(8)
+        ) + (
+            JobSpec(job_id=8, benchmark="povray", nthreads=1,
+                    start_time_s=400.0),
+        )
+        workload = Workload(
+            jobs=jobs, duration_s=900.0, max_cores=8, seed=0
+        )
+        capper = PowerCapController(spec, cap_w=10.0)
+        ServerSystem(Chip(spec), workload, capper).run()
+        assert capper.release_events > 0
+
+    def test_validation(self):
+        spec = xgene2_spec()
+        with pytest.raises(ConfigurationError):
+            PowerCapController(spec, cap_w=0.0)
+        with pytest.raises(ConfigurationError):
+            PowerCapController(spec, cap_w=10.0, release_margin=1.5)
+
+
+class TestCappedDaemon:
+    def test_daemon_respects_cap_and_stays_safe(self):
+        spec = xgene3_spec()
+        workload = ServerWorkloadGenerator(
+            max_cores=32, seed=31
+        ).generate(600.0)
+        capped = CappedDaemonController(spec, cap_w=30.0)
+        result = ServerSystem(Chip(spec), workload, capped).run()
+        assert result.violations == []
+        assert capped.throttle_events > 0
+
+    def test_capped_daemon_cheaper_than_capped_baseline(self):
+        spec = xgene3_spec()
+        workload = ServerWorkloadGenerator(
+            max_cores=32, seed=31
+        ).generate(600.0)
+        base = ServerSystem(
+            Chip(spec), workload, PowerCapController(spec, 30.0)
+        ).run()
+        smart = ServerSystem(
+            Chip(spec), workload, CappedDaemonController(spec, 30.0)
+        ).run()
+        # Same budget, but the daemon also trims voltage and places
+        # work intelligently -> less energy for the same jobs.
+        assert smart.energy_j < base.energy_j
+
+    def test_ceiling_never_below_memory_clock(self):
+        spec = xgene3_spec()
+        capped = CappedDaemonController(spec, cap_w=1.0)  # impossible cap
+        workload = ServerWorkloadGenerator(
+            max_cores=32, seed=31
+        ).generate(300.0)
+        ServerSystem(Chip(spec), workload, capped).run()
+        assert capped.ceiling_hz >= spec.half_frequency_hz

@@ -1,0 +1,191 @@
+"""Shape tests for the characterization experiments (Figs. 3-6, 10)."""
+
+import pytest
+
+from repro.experiments import (
+    fig3_vmin_characterization as fig3,
+    fig4_core_variation as fig4,
+    fig5_pfail as fig5,
+    fig6_droops as fig6,
+    fig10_factors as fig10,
+)
+from repro.units import ghz
+from repro.workloads.suites import characterization_set
+
+
+@pytest.fixture(scope="module")
+def fig3_xgene2():
+    return fig3.run("xgene2")
+
+
+@pytest.fixture(scope="module")
+def fig3_xgene3():
+    return fig3.run("xgene3")
+
+
+class TestFig3:
+    def test_covers_25_benchmarks(self, fig3_xgene2):
+        names = {r.benchmark for r in fig3_xgene2.rows}
+        assert len(names) == 25
+
+    def test_grid_sizes(self, fig3_xgene2, fig3_xgene3):
+        # XG2: 25 benchmarks x 2 thread options x 3 frequencies.
+        assert len(fig3_xgene2.rows) == 25 * 2 * 3
+        # XG3: 25 x 3 x 2.
+        assert len(fig3_xgene3.rows) == 25 * 3 * 2
+
+    def test_workload_spread_at_most_10mv(self, fig3_xgene2):
+        # The paper's headline: "maximum difference is only 10 mV".
+        for nthreads in (8, 4):
+            for freq in (ghz(2.4), ghz(1.2), ghz(0.9)):
+                assert (
+                    fig3_xgene2.config_spread_mv(nthreads, freq) <= 10
+                )
+
+    def test_lower_frequency_lower_vmin(self, fig3_xgene2):
+        v24 = fig3_xgene2.vmin_of("CG", 8, ghz(2.4))
+        v12 = fig3_xgene2.vmin_of("CG", 8, ghz(1.2))
+        v09 = fig3_xgene2.vmin_of("CG", 8, ghz(0.9))
+        assert v24 > v12 > v09
+
+    def test_clock_division_large_drop(self, fig3_xgene2):
+        # ~12% of nominal between 1.2 and 0.9 GHz (Fig. 10).
+        drop = fig3_xgene2.vmin_of("CG", 8, ghz(1.2)) - fig3_xgene2.vmin_of(
+            "CG", 8, ghz(0.9)
+        )
+        assert 80 <= drop <= 160
+
+    def test_xgene3_vmin_near_table2(self, fig3_xgene3):
+        # 32T @ 3GHz: Table II says 830 mV (we allow the variation term).
+        measured = fig3_xgene3.vmin_of("CG", 32, ghz(3.0))
+        assert 820 <= measured <= 850
+
+    def test_guardband_exposed(self, fig3_xgene3):
+        assert all(r.guardband_mv >= 30 for r in fig3_xgene3.rows)
+
+
+@pytest.fixture(scope="module")
+def fig4_result():
+    return fig4.run("xgene2")
+
+
+class TestFig4:
+    def test_pmd2_most_robust(self, fig4_result):
+        assert fig4_result.most_robust_pmd() == 2
+
+    def test_pmd0_or_1_most_sensitive(self, fig4_result):
+        assert fig4_result.most_sensitive_pmd() in (0, 1)
+
+    def test_core_to_core_spread(self, fig4_result):
+        # Paper: up to ~30 mV on X-Gene 2.
+        assert 15 <= fig4_result.core_to_core_spread_mv() <= 40
+
+    def test_workload_spread(self, fig4_result):
+        # Paper: up to ~40 mV in single-core runs.
+        assert 25 <= fig4_result.workload_spread_mv() <= 50
+
+    def test_crash_below_safe(self, fig4_result):
+        for row in fig4_result.rows:
+            assert row.crash_mv < row.safe_vmin_mv
+
+    def test_single_core_variation_exceeds_multicore(self, fig4_result):
+        # Fig. 4 vs Fig. 3: single-core spread >> the 10 mV multicore one.
+        assert fig4_result.workload_spread_mv() > 10
+
+
+@pytest.fixture(scope="module")
+def fig5_result():
+    return fig5.run("xgene3")
+
+
+class TestFig5:
+    def test_curves_for_all_configs(self, fig5_result):
+        labels = {c.label for c in fig5_result.curves}
+        assert labels == {
+            "32T",
+            "16T(spreaded)",
+            "16T(clustered)",
+            "8T(spreaded)",
+            "8T(clustered)",
+        }
+
+    def test_max_threads_and_spreaded_half_identical(self, fig5_result):
+        # Paper: the 32T and 16T(spreaded) lines are virtually the same.
+        full = fig5_result.curve("32T")
+        spread = fig5_result.curve("16T(spreaded)")
+        for (v1, p1), (v2, p2) in zip(full.points, spread.points):
+            assert v1 == v2
+            assert p1 == pytest.approx(p2, abs=0.02)
+
+    def test_clustered_shifts_left(self, fig5_result):
+        # 16T(clustered) has lower safe Vmin than 32T.
+        assert (
+            fig5_result.curve("16T(clustered)").safe_vmin_mv()
+            < fig5_result.curve("32T").safe_vmin_mv()
+        )
+
+    def test_pfail_monotone_in_voltage(self, fig5_result):
+        for curve in fig5_result.curves:
+            pfails = [p for _, p in sorted(curve.points)]
+            assert pfails == sorted(pfails, reverse=True)
+
+    def test_pfail_reaches_one(self, fig5_result):
+        for curve in fig5_result.curves:
+            assert max(p for _, p in curve.points) == pytest.approx(1.0)
+
+
+@pytest.fixture(scope="module")
+def fig6_result():
+    return fig6.run("xgene3")
+
+
+class TestFig6:
+    def test_top_bin_pattern(self, fig6_result):
+        # 32T and 16T(spreaded) populate [55,65); 16T(clustered) doesn't.
+        top = (55, 65)
+        full = fig6_result.rates("32T", top)
+        spread = fig6_result.rates("16T(spreaded)", top)
+        clustered = fig6_result.rates("16T(clustered)", top)
+        assert min(full.values()) > 1.0
+        assert min(spread.values()) > 1.0
+        assert max(clustered.values()) < 0.1
+
+    def test_second_bin_pattern(self, fig6_result):
+        # 16T(clustered) and 8T(spreaded) populate [45,55); 8T(clustered)
+        # doesn't.
+        mid = (45, 55)
+        assert min(fig6_result.rates("16T(clustered)", mid).values()) > 1.0
+        assert min(fig6_result.rates("8T(spreaded)", mid).values()) > 1.0
+        assert max(fig6_result.rates("8T(clustered)", mid).values()) < 0.1
+
+    def test_all_programs_reported(self, fig6_result):
+        rates = fig6_result.rates("32T", (55, 65))
+        assert len(rates) == 25
+
+    def test_same_allocation_same_ceiling_regardless_of_program(
+        self, fig6_result
+    ):
+        # Section IV.A: all programs share the max droop magnitude for a
+        # given allocation; only rates differ.
+        top = (55, 65)
+        clustered = fig6_result.rates("16T(clustered)", top)
+        assert all(rate < 0.1 for rate in clustered.values())
+
+
+class TestFig10:
+    def test_factors_match_paper(self):
+        result = fig10.run("xgene2")
+        assert result.factors["workload"] == pytest.approx(0.01, abs=0.005)
+        assert result.factors["core_allocation"] == pytest.approx(
+            0.04, abs=0.015
+        )
+        assert result.factors["clock_skipping"] == pytest.approx(
+            0.03, abs=0.015
+        )
+        assert result.factors["clock_division"] == pytest.approx(
+            0.12, abs=0.02
+        )
+
+    def test_render_includes_paper_column(self):
+        text = fig10.run("xgene2").format()
+        assert "paper(%)" in text

@@ -1,0 +1,51 @@
+"""Tests for the traced Fig. 13 daemon flow."""
+
+import pytest
+
+from repro.experiments import fig13_flow
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return fig13_flow.run("xgene2")
+
+
+class TestFlowSequence:
+    def test_no_violations(self, trace):
+        assert trace.violations == 0
+
+    def test_every_edge_exercised(self, trace):
+        kinds = set(trace.kinds())
+        assert {
+            "raise_voltage",
+            "process_arrives",
+            "placement",
+            "settle_voltage",
+            "class_change_retune",
+            "process_exits",
+        } <= kinds
+
+    def test_raise_precedes_arrival(self, trace):
+        kinds = trace.kinds()
+        first_raise = kinds.index("raise_voltage")
+        first_arrival = kinds.index("process_arrives")
+        assert first_raise < first_arrival
+
+    def test_placement_follows_arrival(self, trace):
+        kinds = trace.kinds()
+        assert kinds.index("placement") > kinds.index("process_arrives")
+
+    def test_exits_settle_the_rail(self, trace):
+        kinds = trace.kinds()
+        last_exit = len(kinds) - 1 - kinds[::-1].index("process_exits")
+        assert "settle_voltage" in kinds[last_exit:]
+
+    def test_class_change_happens_in_place(self, trace):
+        # The phased job flips class at least twice (unknown->memory,
+        # memory->cpu at the boundary).
+        assert trace.kinds().count("class_change_retune") >= 2
+
+    def test_render(self, trace):
+        text = trace.format()
+        assert "daemon flow trace" in text
+        assert "raise_voltage" in text

@@ -1,0 +1,42 @@
+"""Tests for the one-shot reproduction report generator."""
+
+import pytest
+
+from repro.experiments import report
+
+
+@pytest.fixture(scope="module")
+def quick_report():
+    # Short evaluation windows; skip the (slower) characterization part.
+    return report.generate(
+        duration_s=240.0, seed=5, include_characterization=False
+    )
+
+
+class TestReport:
+    def test_markdown_skeleton(self, quick_report):
+        assert quick_report.startswith("# Reproduction report")
+        assert "## Energy and performance" in quick_report
+        assert "## Evaluation (Tables III/IV)" in quick_report
+
+    def test_both_platforms_present(self, quick_report):
+        assert "### X-Gene 2" in quick_report
+        assert "### X-Gene 3" in quick_report
+
+    def test_paper_references_embedded(self, quick_report):
+        assert "[25.2 %]" in quick_report
+        assert "[22.3 %]" in quick_report
+
+    def test_fig8_rows(self, quick_report):
+        assert "| namd |" in quick_report
+        assert "| CG |" in quick_report
+
+    def test_characterization_section_optional(self, quick_report):
+        assert "## Characterization" not in quick_report
+
+    def test_full_report_includes_characterization(self):
+        full = report.generate(
+            duration_s=120.0, seed=5, include_characterization=True
+        )
+        assert "## Characterization" in full
+        assert "droop bin" in full

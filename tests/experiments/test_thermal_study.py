@@ -1,0 +1,45 @@
+"""Tests for the thermal-margin study (environment extension)."""
+
+import pytest
+
+from repro.experiments import thermal_study
+
+
+@pytest.fixture(scope="module")
+def study():
+    return thermal_study.run(
+        "xgene3",
+        ambients_c=(15.0, 45.0, 80.0),
+        duration_s=600.0,
+        seed=9,
+    )
+
+
+class TestThermalStudy:
+    def test_hotter_ambient_hotter_junction(self, study):
+        peaks = [r.peak_junction_c for r in study.rows]
+        assert peaks == sorted(peaks)
+
+    def test_hotter_ambient_more_energy(self, study):
+        energies = [r.energy_j for r in study.rows]
+        assert energies == sorted(energies)
+        assert study.energy_increase_pct() > 5.0
+
+    def test_cool_operation_safe(self, study):
+        assert study.rows[0].violations == 0
+
+    def test_extreme_heat_defeats_the_table(self, study):
+        # At 80 C ambient the junction exceeds the calibration point by
+        # more than the table's quantization + guard slack.
+        assert study.rows[-1].violations > 0
+        assert study.first_unsafe_ambient_c() == 80.0
+
+    def test_guard_tracks_peak(self, study):
+        guards = [r.guard_needed_mv for r in study.rows]
+        assert guards == sorted(guards)
+        assert guards[0] == 0.0
+
+    def test_render(self, study):
+        text = study.format()
+        assert "Thermal-margin study" in text
+        assert "guard needed" in text

@@ -1,0 +1,65 @@
+"""Tests for the shared-resource contention primitives."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.perf.contention import (
+    bandwidth_capacity_gbs,
+    bandwidth_utilization,
+    contention_factor,
+    l2_sharing_factor,
+)
+
+
+class TestContentionFactor:
+    def test_no_contention_within_capacity(self, spec3):
+        capacity = bandwidth_capacity_gbs(spec3)
+        assert contention_factor(spec3, [capacity / 4] * 2) == 1.0
+
+    def test_oversubscription_ratio(self, spec3):
+        capacity = bandwidth_capacity_gbs(spec3)
+        factor = contention_factor(spec3, [capacity] * 3)
+        assert factor == pytest.approx(3.0)
+
+    def test_empty_demands(self, spec3):
+        assert contention_factor(spec3, []) == 1.0
+
+    def test_negative_demand_rejected(self, spec3):
+        with pytest.raises(ConfigurationError):
+            contention_factor(spec3, [-1.0])
+
+    def test_xgene2_saturates_earlier(self, spec2, spec3):
+        assert bandwidth_capacity_gbs(spec2) < bandwidth_capacity_gbs(
+            spec3
+        )
+
+
+class TestBandwidthUtilization:
+    def test_clipped_at_one(self, spec3):
+        capacity = bandwidth_capacity_gbs(spec3)
+        assert bandwidth_utilization(spec3, [capacity * 2]) == 1.0
+
+    def test_fractional(self, spec3):
+        capacity = bandwidth_capacity_gbs(spec3)
+        assert bandwidth_utilization(
+            spec3, [capacity / 2]
+        ) == pytest.approx(0.5)
+
+    def test_zero_without_demand(self, spec3):
+        assert bandwidth_utilization(spec3, []) == 0.0
+
+
+class TestL2Sharing:
+    def test_no_penalty_when_alone(self):
+        assert l2_sharing_factor(0.9, shares_pmd=False) == 1.0
+
+    def test_penalty_scales_with_sensitivity(self):
+        low = l2_sharing_factor(0.1, shares_pmd=True)
+        high = l2_sharing_factor(0.9, shares_pmd=True)
+        assert 1.0 < low < high
+
+    def test_sensitivity_bounds(self):
+        with pytest.raises(ConfigurationError):
+            l2_sharing_factor(1.5, shares_pmd=True)
+        with pytest.raises(ConfigurationError):
+            l2_sharing_factor(-0.1, shares_pmd=False)

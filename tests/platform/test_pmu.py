@@ -1,0 +1,108 @@
+"""Tests for the PMU counter model and its reader front-ends."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.platform.pmu import (
+    DROOP_BINS_MV,
+    KernelModuleReader,
+    PerfToolReader,
+    Pmu,
+    l3_rate_per_mcycles,
+)
+
+
+@pytest.fixture
+def pmu(spec2):
+    return Pmu(spec2)
+
+
+class TestCounters:
+    def test_counters_start_at_zero(self, pmu):
+        regs = pmu.core(0)
+        assert (regs.cycles, regs.instructions, regs.l3_accesses) == (
+            0.0,
+            0.0,
+            0.0,
+        )
+
+    def test_advance_accumulates(self, pmu):
+        pmu.core(0).advance(1e6, 5e5, 3000)
+        pmu.core(0).advance(1e6, 5e5, 1000)
+        assert pmu.core(0).cycles == 2e6
+        assert pmu.core(0).l3_accesses == 4000
+
+    def test_negative_delta_rejected(self, pmu):
+        with pytest.raises(ConfigurationError):
+            pmu.core(0).advance(-1, 0, 0)
+
+    def test_core_out_of_range(self, pmu):
+        with pytest.raises(ConfigurationError):
+            pmu.core(8)
+
+    def test_total_cycles(self, pmu):
+        pmu.core(0).advance(100, 0, 0)
+        pmu.core(3).advance(50, 0, 0)
+        assert pmu.total_cycles() == 150
+
+    def test_reset(self, pmu):
+        pmu.core(0).advance(100, 10, 5)
+        pmu.record_droops(DROOP_BINS_MV[0], 3)
+        pmu.reset()
+        assert pmu.total_cycles() == 0
+        assert pmu.droop_events[DROOP_BINS_MV[0]] == 0
+
+
+class TestDroopBins:
+    def test_bins_match_paper(self):
+        assert DROOP_BINS_MV == ((25, 35), (35, 45), (45, 55), (55, 65))
+
+    def test_record_droops(self, pmu):
+        pmu.record_droops((45, 55), 12.5)
+        assert pmu.droop_events[(45, 55)] == 12.5
+
+    def test_unknown_bin_rejected(self, pmu):
+        with pytest.raises(ConfigurationError):
+            pmu.record_droops((10, 20), 1)
+
+    def test_negative_count_rejected(self, pmu):
+        with pytest.raises(ConfigurationError):
+            pmu.record_droops((45, 55), -1)
+
+
+class TestReaders:
+    def test_kernel_module_reader_exact(self, pmu):
+        pmu.core(2).advance(1e6, 8e5, 3200)
+        sample = KernelModuleReader(pmu).read(2)
+        assert sample.cycles == 1e6
+        assert sample.l3_accesses == 3200
+
+    def test_perf_reader_noisy_but_bounded(self, pmu):
+        pmu.core(0).advance(1e6, 8e5, 3000)
+        reader = PerfToolReader(pmu, noise=0.03, seed=1)
+        sample = reader.read(0)
+        assert sample.cycles != 1e6  # virtually certain with noise
+        assert abs(sample.cycles - 1e6) <= 0.03 * 1e6
+        assert abs(sample.l3_accesses - 3000) <= 0.03 * 3000
+
+    def test_perf_reader_noise_validation(self, pmu):
+        with pytest.raises(ConfigurationError):
+            PerfToolReader(pmu, noise=1.5)
+
+    def test_kernel_reader_cheaper_than_perf(self, pmu):
+        assert KernelModuleReader.read_cost_s < PerfToolReader.read_cost_s
+
+
+class TestL3Rate:
+    def test_rate_between_samples(self, pmu):
+        reader = KernelModuleReader(pmu)
+        before = reader.read(0)
+        pmu.core(0).advance(2e6, 1e6, 8000)
+        after = reader.read(0)
+        assert l3_rate_per_mcycles(before, after) == pytest.approx(4000)
+
+    def test_rate_without_cycles_is_none(self, pmu):
+        reader = KernelModuleReader(pmu)
+        before = reader.read(0)
+        after = reader.read(0)
+        assert l3_rate_per_mcycles(before, after) is None

@@ -1,0 +1,86 @@
+"""Tests for the governors and the default scheduler."""
+
+import pytest
+
+from repro.allocation import utilized_pmds
+from repro.sim.governor import (
+    OndemandGovernor,
+    PerformanceGovernor,
+    PowersaveGovernor,
+)
+from repro.sim.scheduler import ClusterScheduler, SpreadScheduler
+
+
+class TestOndemandChipScope:
+    def test_idle_chip_parks_all(self, chip2, spec2):
+        OndemandGovernor().apply(chip2)
+        assert chip2.cppc.frequencies() == (spec2.fmin_hz,) * 4
+
+    def test_any_busy_core_raises_all(self, chip2, spec2):
+        chip2.occupy(5, "p")
+        OndemandGovernor().apply(chip2)
+        assert chip2.cppc.frequencies() == (spec2.fmax_hz,) * 4
+
+    def test_returns_to_floor_after_release(self, chip2, spec2):
+        governor = OndemandGovernor()
+        chip2.occupy(5, "p")
+        governor.apply(chip2)
+        chip2.release(5)
+        governor.apply(chip2)
+        assert chip2.cppc.frequencies() == (spec2.fmin_hz,) * 4
+
+
+class TestOndemandPmdScope:
+    def test_only_busy_pmds_raised(self, chip2, spec2):
+        chip2.occupy(0, "p")
+        OndemandGovernor(scope="pmd").apply(chip2)
+        freqs = chip2.cppc.frequencies()
+        assert freqs[0] == spec2.fmax_hz
+        assert freqs[1:] == (spec2.fmin_hz,) * 3
+
+    def test_unknown_scope_rejected(self):
+        with pytest.raises(ValueError):
+            OndemandGovernor(scope="socket")
+
+
+class TestPinnedGovernors:
+    def test_performance(self, chip2, spec2):
+        chip2.set_all_frequencies(spec2.fmin_hz)
+        PerformanceGovernor().apply(chip2)
+        assert chip2.cppc.frequencies() == (spec2.fmax_hz,) * 4
+
+    def test_powersave(self, chip2, spec2):
+        PowersaveGovernor().apply(chip2)
+        assert chip2.cppc.frequencies() == (spec2.fmin_hz,) * 4
+
+
+class TestSpreadScheduler:
+    def test_spreads_across_pmds(self, chip2, spec2):
+        cores = SpreadScheduler().select_cores(chip2, 4)
+        assert len(utilized_pmds(spec2, cores)) == 4
+
+    def test_respects_occupancy(self, chip2):
+        chip2.occupy(0, "p")
+        chip2.occupy(2, "p")
+        cores = SpreadScheduler().select_cores(chip2, 2)
+        assert set(cores).isdisjoint({0, 2})
+
+    def test_none_when_insufficient(self, chip2):
+        for core in range(7):
+            chip2.occupy(core, "p")
+        assert SpreadScheduler().select_cores(chip2, 2) is None
+
+    def test_exactly_fits(self, chip2):
+        cores = SpreadScheduler().select_cores(chip2, 8)
+        assert sorted(cores) == list(range(8))
+
+
+class TestClusterScheduler:
+    def test_packs_pmds(self, chip2, spec2):
+        cores = ClusterScheduler().select_cores(chip2, 4)
+        assert len(utilized_pmds(spec2, cores)) == 2
+
+    def test_none_when_insufficient(self, chip2):
+        for core in range(8):
+            chip2.occupy(core, "p")
+        assert ClusterScheduler().select_cores(chip2, 1) is None

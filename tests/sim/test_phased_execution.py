@@ -1,0 +1,156 @@
+"""Tests for phased-benchmark execution in the simulator.
+
+The paper's case (b): a process changes state between CPU- and
+memory-intensive; the daemon retunes V/F in place without migrations.
+"""
+
+import pytest
+
+from repro.core.daemon import OnlineMonitoringDaemon
+from repro.platform.chip import Chip
+from repro.platform.specs import xgene2_spec
+from repro.sim.controllers import BaselineController
+from repro.sim.process import WorkloadClass
+from repro.sim.system import ServerSystem
+from repro.workloads.generator import JobSpec, Workload
+from repro.workloads.phases import make_phased
+
+
+def workload_of(*jobs):
+    return Workload(
+        jobs=tuple(
+            JobSpec(job_id=i, benchmark=name, nthreads=n, start_time_s=t)
+            for i, (name, n, t) in enumerate(jobs)
+        ),
+        duration_s=600.0,
+        max_cores=8,
+        seed=0,
+    )
+
+
+class TestPhasedExecution:
+    def test_phased_job_completes(self):
+        chip = Chip(xgene2_spec())
+        system = ServerSystem(
+            chip,
+            workload_of(("setup-then-crunch", 1, 0.0)),
+            BaselineController(),
+        )
+        result = system.run()
+        assert result.processes[0].finish_s is not None
+
+    def test_duration_between_pure_extremes(self):
+        # The phased job must take longer than its faster phase run
+        # standalone and less than its slower one (at equal work).
+        spec = xgene2_spec()
+
+        def run(name):
+            system = ServerSystem(
+                Chip(spec), workload_of((name, 1, 0.0)),
+                BaselineController(),
+            )
+            return system.run().makespan_s
+
+        phased = run("setup-then-crunch")  # 30% mcf + 70% gamess
+        mcf, gamess = run("mcf"), run("gamess")
+        lo, hi = sorted((mcf, gamess))
+        assert lo < phased < hi
+
+    def test_pmu_rate_shifts_across_phases(self):
+        # During the mcf phase the L3 rate is high; during gamess, low.
+        chip = Chip(xgene2_spec())
+        system = ServerSystem(
+            chip,
+            workload_of(("setup-then-crunch", 1, 0.0)),
+            BaselineController(),
+        )
+        proc = system.processes[0]
+        samples = []
+
+        original = system._refresh
+
+        def spy():
+            original()
+            if proc.is_running:
+                samples.append(
+                    (proc.done_fraction, proc.current_profile().name)
+                )
+
+        system._refresh = spy
+        system.run()
+        names = {name for _, name in samples}
+        assert names == {"mcf", "gamess"}
+
+    def test_daemon_reclassifies_on_phase_change(self):
+        spec = xgene2_spec()
+        chip = Chip(spec)
+        daemon = OnlineMonitoringDaemon(spec)
+        system = ServerSystem(
+            chip, workload_of(("setup-then-crunch", 1, 0.0)), daemon
+        )
+        result = system.run()
+        proc = result.processes[0]
+        # The last observed class is the final (CPU-intensive) phase.
+        assert proc.observed_class is WorkloadClass.CPU_INTENSIVE
+        # And the daemon retuned at least twice: unknown->memory at the
+        # start, memory->cpu at the phase boundary.
+        assert daemon.retunes >= 2
+
+    def test_daemon_raises_clock_after_memory_phase(self):
+        # When the process turns CPU-intensive, its PMD must return to
+        # fmax (the paper's performance constraint).
+        spec = xgene2_spec()
+        chip = Chip(spec)
+        daemon = OnlineMonitoringDaemon(spec)
+        system = ServerSystem(
+            chip, workload_of(("setup-then-crunch", 1, 0.0)), daemon
+        )
+        system.run()
+        ups = [
+            t
+            for t in chip.cppc.transitions
+            if t.to_hz == spec.fmax_hz and t.from_hz < spec.fmax_hz
+        ]
+        assert ups  # the retune back to full clock happened
+
+    def test_no_migration_on_phase_change(self):
+        # Case (b): utilized PMDs cannot change on a classification
+        # change; a lone phased process must never migrate.
+        spec = xgene2_spec()
+        chip = Chip(spec)
+        daemon = OnlineMonitoringDaemon(spec)
+        system = ServerSystem(
+            chip, workload_of(("stream-compute", 1, 0.0)), daemon
+        )
+        result = system.run()
+        assert result.processes[0].migrations == 0
+
+    def test_sawtooth_hysteresis_limits_flapping(self):
+        spec = xgene2_spec()
+        chip = Chip(spec)
+        daemon = OnlineMonitoringDaemon(spec)
+        system = ServerSystem(
+            chip, workload_of(("sawtooth", 2, 0.0)), daemon
+        )
+        system.run()
+        # 8 phases -> at most one retune per boundary plus the initial
+        # classification; hysteresis and the 1M-cycle window must keep
+        # the count near that, not orders beyond.
+        assert daemon.retunes <= 12
+
+    def test_no_violations_with_phases(self):
+        spec = xgene2_spec()
+        chip = Chip(spec)
+        daemon = OnlineMonitoringDaemon(spec)
+        system = ServerSystem(
+            chip,
+            workload_of(
+                ("sawtooth", 2, 0.0),
+                ("compute-then-writeback", 1, 5.0),
+                ("namd", 1, 10.0),
+            ),
+            daemon,
+        )
+        result = system.run()
+        assert result.violations == []
+        assert all(p.finish_s is not None for p in result.processes)

@@ -1,0 +1,266 @@
+"""Tests for the server-system simulator."""
+
+import pytest
+
+from repro.errors import SimulationError, SystemCrash
+from repro.perf.model import job_duration_s
+from repro.platform.chip import Chip
+from repro.platform.specs import xgene2_spec
+from repro.sim.controllers import BaselineController
+from repro.sim.system import Controller, ServerSystem
+from repro.workloads.generator import JobSpec, Workload
+from repro.workloads.suites import get_benchmark
+
+
+def make_workload(jobs, duration=600.0, max_cores=8):
+    return Workload(
+        jobs=tuple(
+            JobSpec(job_id=i, benchmark=name, nthreads=n, start_time_s=t)
+            for i, (name, n, t) in enumerate(jobs)
+        ),
+        duration_s=duration,
+        max_cores=max_cores,
+        seed=0,
+    )
+
+
+def run_system(jobs, controller=None, chip=None, **kwargs):
+    chip = chip or Chip(xgene2_spec())
+    system = ServerSystem(
+        chip,
+        make_workload(jobs),
+        controller=controller or BaselineController(),
+        **kwargs,
+    )
+    return system.run(), system
+
+
+class TestSingleJob:
+    def test_runs_to_completion(self):
+        result, _ = run_system([("namd", 1, 0.0)])
+        proc = result.processes[0]
+        assert proc.finish_s is not None
+        assert result.makespan_s == proc.finish_s
+
+    def test_duration_matches_analytic_model(self, spec2):
+        # Under the baseline the job runs solo at fmax: the DES duration
+        # must equal the closed-form model's.
+        result, _ = run_system([("namd", 1, 0.0)])
+        expected = job_duration_s(
+            get_benchmark("namd"), spec2, spec2.fmax_hz
+        )
+        assert result.makespan_s == pytest.approx(expected, rel=1e-6)
+
+    def test_energy_positive_and_consistent(self):
+        result, _ = run_system([("EP", 2, 0.0)])
+        assert result.energy_j > 0
+        assert result.average_power_w == pytest.approx(
+            result.energy_j / result.makespan_s
+        )
+
+    def test_ed2p(self):
+        result, _ = run_system([("EP", 2, 0.0)])
+        assert result.ed2p == pytest.approx(
+            result.energy_j * result.makespan_s**2
+        )
+
+    def test_arrival_delay_respected(self):
+        result, _ = run_system([("namd", 1, 50.0)])
+        assert result.processes[0].start_s == pytest.approx(50.0)
+
+
+class TestMultipleJobs:
+    def test_contention_slows_memory_jobs(self, spec2):
+        solo, _ = run_system([("CG", 4, 0.0)])
+        crowded, _ = run_system([("CG", 4, 0.0), ("milc", 1, 0.0),
+                                 ("lbm", 1, 0.0), ("mcf", 1, 0.0)])
+        cg_solo = solo.processes[0]
+        cg_crowded = crowded.processes[0]
+        assert (
+            cg_crowded.finish_s - cg_crowded.start_s
+            > cg_solo.finish_s - cg_solo.start_s
+        )
+
+    def test_all_jobs_complete(self, short_workload2, chip2):
+        system = ServerSystem(
+            chip2, short_workload2, BaselineController()
+        )
+        result = system.run()
+        assert all(p.finish_s is not None for p in result.processes)
+
+    def test_queueing_when_full(self):
+        # 8 single-thread jobs + 1 more than capacity at t=0.
+        jobs = [("namd", 1, 0.0)] * 8 + [("EP", 2, 0.0)]
+        result, _ = run_system(jobs)
+        ep = result.processes[-1]
+        assert ep.start_s > 0.0  # had to wait for cores
+        assert ep.finish_s is not None
+
+    def test_makespan_covers_all(self, short_workload2, chip2):
+        result = ServerSystem(
+            chip2, short_workload2, BaselineController()
+        ).run()
+        assert result.makespan_s == max(
+            p.finish_s for p in result.processes
+        )
+
+
+class TestTraces:
+    def test_trace_sampled_every_second(self):
+        result, _ = run_system([("EP", 4, 0.0)])
+        trace = result.trace
+        assert trace is not None
+        assert len(trace.samples) >= int(result.makespan_s)
+
+    def test_trace_disabled(self):
+        chip = Chip(xgene2_spec())
+        system = ServerSystem(
+            chip,
+            make_workload([("EP", 2, 0.0)]),
+            BaselineController(),
+            trace_period_s=None,
+        )
+        assert system.run().trace is None
+
+    def test_trace_shows_busy_cores(self):
+        result, _ = run_system([("EP", 4, 1.0)])
+        busy = [s.busy_cores for s in result.trace.samples]
+        assert 0 in busy  # before arrival
+        assert 4 in busy  # while running
+
+
+class TestPmuAccounting:
+    def test_process_counters_advance(self):
+        result, _ = run_system([("CG", 2, 0.0)])
+        proc = result.processes[0]
+        assert proc.counters.cycles > 0
+        assert proc.counters.l3_accesses > 0
+
+    def test_l3_rate_near_profile(self, spec2):
+        # The per-process PMU rate is what the daemon classifies from.
+        result, _ = run_system([("CG", 2, 0.0)])
+        proc = result.processes[0]
+        rate = 1e6 * proc.counters.l3_accesses / proc.counters.cycles
+        assert rate > 3000  # CG is memory-intensive
+
+    def test_droop_events_recorded(self):
+        _, system = run_system([("CG", 8, 0.0)])
+        assert sum(system.chip.pmu.droop_events.values()) > 0
+
+
+class TestVoltageAudit:
+    def test_baseline_never_violates(self, short_workload2, chip2):
+        result = ServerSystem(
+            chip2, short_workload2, BaselineController()
+        ).run()
+        assert result.violations == []
+
+    def test_undervolted_chip_detected(self):
+        class Reckless(BaselineController):
+            def on_start(self):
+                super().on_start()
+                self.system.set_voltage(700)  # far below any safe Vmin
+
+        result, _ = run_system([("namd", 8, 0.0)], controller=Reckless())
+        assert result.violations
+        assert result.violations[0].depth_mv > 0
+
+    def test_raise_policy_crashes(self):
+        class Reckless(BaselineController):
+            def on_start(self):
+                super().on_start()
+                self.system.set_voltage(700)
+
+        chip = Chip(xgene2_spec())
+        system = ServerSystem(
+            chip,
+            make_workload([("namd", 8, 0.0)]),
+            Reckless(),
+            fault_policy="raise",
+        )
+        with pytest.raises(SystemCrash):
+            system.run()
+
+    def test_off_policy_ignores(self):
+        class Reckless(BaselineController):
+            def on_start(self):
+                super().on_start()
+                self.system.set_voltage(700)
+
+        result, _ = run_system(
+            [("namd", 8, 0.0)],
+            controller=Reckless(),
+            fault_policy="off",
+        )
+        assert result.violations == []
+
+    def test_unknown_policy_rejected(self, chip2, short_workload2):
+        with pytest.raises(SimulationError):
+            ServerSystem(
+                chip2,
+                short_workload2,
+                BaselineController(),
+                fault_policy="maybe",
+            )
+
+
+class TestMigrationApi:
+    def test_migrate_many_swaps(self):
+        class Swapper(BaselineController):
+            def on_process_started(self, process):
+                super().on_process_started(process)
+                running = self.system.running_processes()
+                if len(running) == 2:
+                    a, b = running
+                    self.system.migrate_many(
+                        {a: tuple(b.cores), b: tuple(a.cores)}
+                    )
+
+        result, _ = run_system(
+            [("namd", 2, 0.0), ("EP", 2, 0.0)], controller=Swapper()
+        )
+        assert all(p.finish_s is not None for p in result.processes)
+        assert result.total_migrations == 2
+
+    def test_migrate_to_busy_core_rejected(self):
+        class Bad(BaselineController):
+            def on_process_started(self, process):
+                super().on_process_started(process)
+                running = self.system.running_processes()
+                if len(running) == 2:
+                    a, b = running
+                    self.system.migrate(a, b.cores)
+
+        with pytest.raises(SimulationError):
+            run_system(
+                [("namd", 2, 0.0), ("EP", 2, 0.0)], controller=Bad()
+            )
+
+
+class TestTicks:
+    def test_ticks_delivered_while_running(self):
+        class Ticker(Controller):
+            monitor_period_s = 1.0
+
+            def __init__(self):
+                super().__init__()
+                self.ticks = 0
+
+            def on_tick(self):
+                self.ticks += 1
+
+        controller = Ticker()
+        result, _ = run_system([("namd", 1, 0.0)], controller=controller)
+        # namd solo at fmax runs ~150 s on X-Gene 2.
+        assert controller.ticks >= int(result.makespan_s) - 2
+
+    def test_ticks_stop_after_work_done(self):
+        class Ticker(Controller):
+            monitor_period_s = 1.0
+
+        result, system = run_system(
+            [("EP", 8, 0.0)], controller=Ticker()
+        )
+        # Simulation terminates (run() returned) and time does not run
+        # far past the last completion.
+        assert system.now <= result.makespan_s + 2.0

@@ -1,0 +1,96 @@
+"""Property-based tests on whole-system invariants.
+
+Random small workloads replayed under the Baseline and the daemon must
+satisfy conservation and safety invariants regardless of composition.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.daemon import OnlineMonitoringDaemon
+from repro.core.policy import VminPolicyTable
+from repro.platform.chip import Chip
+from repro.platform.specs import xgene2_spec
+from repro.sim.controllers import BaselineController
+from repro.sim.system import ServerSystem
+from repro.workloads.generator import JobSpec, Workload
+from repro.workloads.suites import evaluation_pool
+
+SPEC2 = xgene2_spec()
+POLICY2 = VminPolicyTable.from_characterization(SPEC2)
+_POOL = [p.name for p in evaluation_pool()]
+
+
+@st.composite
+def workloads(draw):
+    """Small random workloads that fit the 8-core chip at issue time."""
+    jobs = []
+    count = draw(st.integers(1, 6))
+    for job_id in range(count):
+        name = draw(st.sampled_from(_POOL))
+        from repro.workloads.suites import get_benchmark
+
+        parallel = get_benchmark(name).parallel
+        nthreads = draw(st.sampled_from((2, 4))) if parallel else 1
+        start = draw(
+            st.floats(0.0, 120.0).map(lambda v: round(v, 2))
+        )
+        jobs.append(JobSpec(job_id, name, nthreads, start))
+    return Workload(
+        jobs=tuple(jobs), duration_s=300.0, max_cores=8, seed=0
+    )
+
+
+class TestSystemInvariants:
+    @given(workloads())
+    @settings(max_examples=25, deadline=None)
+    def test_baseline_conservation(self, workload):
+        system = ServerSystem(
+            Chip(SPEC2), workload, BaselineController()
+        )
+        result = system.run()
+        # Everything completes, in order, with positive energy.
+        assert all(p.finish_s is not None for p in result.processes)
+        assert all(
+            p.finish_s >= p.start_s >= p.arrival_s
+            for p in result.processes
+        )
+        assert result.energy_j > 0
+        assert result.makespan_s == max(
+            p.finish_s for p in result.processes
+        )
+        # All cores released at the end.
+        assert system.chip.active_cores == frozenset()
+
+    @given(workloads())
+    @settings(max_examples=25, deadline=None)
+    def test_daemon_safety_and_conservation(self, workload):
+        daemon = OnlineMonitoringDaemon(SPEC2, policy=POLICY2)
+        system = ServerSystem(Chip(SPEC2), workload, daemon)
+        result = system.run()
+        assert result.violations == []
+        assert all(p.finish_s is not None for p in result.processes)
+        # Rail always within the regulator's range.
+        for transition in system.chip.slimpro.transitions:
+            assert (
+                SPEC2.min_voltage_mv
+                <= transition.to_mv
+                <= SPEC2.nominal_voltage_mv
+            )
+
+    @given(workloads())
+    @settings(max_examples=15, deadline=None)
+    def test_daemon_never_faster_than_baseline(self, workload):
+        base = ServerSystem(
+            Chip(SPEC2), workload, BaselineController()
+        ).run()
+        opt = ServerSystem(
+            Chip(SPEC2),
+            workload,
+            OnlineMonitoringDaemon(SPEC2, policy=POLICY2),
+        ).run()
+        # The daemon trades a bounded amount of time for energy: never
+        # faster than the max-frequency baseline (beyond float noise),
+        # never pathologically slower.
+        assert opt.makespan_s >= base.makespan_s * 0.999
+        assert opt.makespan_s <= base.makespan_s * 2.5

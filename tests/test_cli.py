@@ -1,0 +1,66 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import COMMANDS, DEFAULT_PLATFORM, build_parser, main
+
+
+class TestParser:
+    def test_all_commands_parse(self):
+        parser = build_parser()
+        for name in COMMANDS:
+            args = parser.parse_args([name])
+            assert args.experiment == name
+
+    def test_platform_flag(self):
+        args = build_parser().parse_args(["fig7", "--platform", "xgene3"])
+        assert args.platform == "xgene3"
+
+    def test_bad_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+    def test_duration_and_seed(self):
+        args = build_parser().parse_args(
+            ["table3", "--duration", "120", "--seed", "9"]
+        )
+        assert args.duration == 120.0
+        assert args.seed == 9
+
+
+class TestExecution:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in COMMANDS:
+            assert name in out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "X-Gene 2" in out and "X-Gene 3" in out
+
+    def test_fig10(self, capsys):
+        assert main(["fig10"]) == 0
+        assert "clock_division" in capsys.readouterr().out
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        assert "droop" in capsys.readouterr().out
+
+    def test_fig8_with_platform(self, capsys):
+        assert main(["fig8", "--platform", "xgene2"]) == 0
+        assert "X-Gene 2" in capsys.readouterr().out
+
+    def test_table3_short(self, capsys):
+        assert main(["table3", "--duration", "120", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "optimal" in out and "baseline" in out
+
+    def test_default_platforms_cover_commands(self):
+        # Every command either takes the default or has an entry.
+        for name in COMMANDS:
+            assert (
+                name in DEFAULT_PLATFORM
+                or name in ("table1", "table3", "table4", "report")
+            )

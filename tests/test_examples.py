@@ -1,0 +1,93 @@
+"""Every example script must stay runnable end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+#: (script, argv, substrings the output must contain)
+CASES = [
+    (
+        "quickstart.py",
+        [],
+        ["baseline", "optimal", "energy", "violations"],
+    ),
+    (
+        "characterize_chip.py",
+        ["xgene2"],
+        ["Safe-Vmin characterization", "Table II", "droop"],
+    ),
+    (
+        "server_daemon_demo.py",
+        ["xgene2", "400"],
+        ["baseline", "safe_vmin", "placement", "optimal", "Paper"],
+    ),
+    (
+        "allocation_explorer.py",
+        ["CG", "4"],
+        ["clustered", "spreaded", "Energy difference"],
+    ),
+    (
+        "allocation_explorer.py",
+        ["namd", "4"],
+        ["clustered wins"],
+    ),
+    (
+        "undervolting_study.py",
+        ["CG", "32"],
+        ["Safe Vmin", "crash point", "sdc"],
+    ),
+    (
+        "phase_tracking_demo.py",
+        ["setup-then-crunch"],
+        ["phase 0", "phase 1", "Voltage timeline", "never undervolted"],
+    ),
+    (
+        "power_capping_demo.py",
+        ["30"],
+        ["uncapped baseline", "capped daemon", "less energy"],
+    ),
+    (
+        "vmin_prediction_study.py",
+        ["xgene2"],
+        ["underpredicted", "Guard needed", "Measured tables win"],
+    ),
+]
+
+
+@pytest.mark.parametrize(
+    "script,argv,expected",
+    CASES,
+    ids=[f"{c[0]}:{'-'.join(c[1]) or 'default'}" for c in CASES],
+)
+def test_example_runs(script, argv, expected):
+    path = EXAMPLES_DIR / script
+    assert path.exists(), f"missing example {script}"
+    completed = subprocess.run(
+        [sys.executable, str(path), *argv],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr
+    for text in expected:
+        assert text in completed.stdout, (
+            f"{script}: expected {text!r} in output"
+        )
+
+
+def test_custom_platform_example():
+    path = EXAMPLES_DIR / "custom_platform.py"
+    completed = subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr
+    for text in ("Hydra-16", "Policy table built", "optimal",
+                 "methodology transfers"):
+        assert text in completed.stdout

@@ -1,0 +1,157 @@
+"""Tests for the ground-truth safe-Vmin model (paper Sections III/IV)."""
+
+import pytest
+
+from repro.allocation import Allocation, cores_for
+from repro.errors import ConfigurationError
+from repro.platform.specs import FrequencyClass
+from repro.units import ghz, MHZ
+from repro.vmin.model import VminModel, variation_attenuation
+from repro.workloads.suites import characterization_set
+
+
+class TestTable2GroundTruth:
+    """The X-Gene 3 base table is paper Table II verbatim."""
+
+    @pytest.mark.parametrize(
+        "droop_class,expected_high,expected_skip",
+        [(0, 780, 770), (1, 800, 780), (2, 810, 790), (3, 830, 820)],
+    )
+    def test_base_values(self, vmin3, droop_class, expected_high, expected_skip):
+        assert (
+            vmin3.base_vmin_mv(FrequencyClass.HIGH, droop_class)
+            == expected_high
+        )
+        assert (
+            vmin3.base_vmin_mv(FrequencyClass.SKIP, droop_class)
+            == expected_skip
+        )
+
+    def test_divide_falls_back_to_skip_on_xgene3(self, vmin3):
+        assert vmin3.base_vmin_mv(FrequencyClass.DIVIDE, 0) == 770
+
+    def test_droop_class_out_of_range(self, vmin3):
+        with pytest.raises(ConfigurationError):
+            vmin3.base_vmin_mv(FrequencyClass.HIGH, 4)
+
+
+class TestConfigurationEffects:
+    def test_more_pmds_raise_vmin(self, vmin3, spec3):
+        few = vmin3.safe_vmin_mv(
+            spec3.fmax_hz, cores_for(spec3, 8, Allocation.CLUSTERED)
+        )
+        many = vmin3.safe_vmin_mv(
+            spec3.fmax_hz, cores_for(spec3, 8, Allocation.SPREADED)
+        )
+        assert many > few
+
+    def test_lower_frequency_lowers_vmin(self, vmin3, spec3):
+        cores = cores_for(spec3, 32, Allocation.CLUSTERED)
+        high = vmin3.safe_vmin_mv(spec3.fmax_hz, cores)
+        low = vmin3.safe_vmin_mv(spec3.half_frequency_hz, cores)
+        assert low < high
+
+    def test_xgene2_clock_division_is_largest_drop(self, vmin2, spec2):
+        cores = cores_for(spec2, 8, Allocation.CLUSTERED)
+        at_24 = vmin2.safe_vmin_mv(ghz(2.4), cores)
+        at_12 = vmin2.safe_vmin_mv(ghz(1.2), cores)
+        at_09 = vmin2.safe_vmin_mv(900 * MHZ, cores)
+        assert at_24 > at_12 > at_09
+        # Clock division (1.2 -> 0.9) is a far larger drop than clock
+        # skipping (2.4 -> 1.2) - Section II.B / Fig. 10.
+        assert (at_12 - at_09) > 2 * (at_24 - at_12)
+
+    def test_xgene3_sub_half_same_as_half(self, vmin3, spec3):
+        # Section II.B: X-Gene 3 frequencies below 1.5 GHz share the
+        # 1.5 GHz Vmin.
+        cores = cores_for(spec3, 32, Allocation.CLUSTERED)
+        assert vmin3.safe_vmin_mv(
+            375 * MHZ, cores
+        ) == vmin3.safe_vmin_mv(spec3.half_frequency_hz, cores)
+
+    def test_vmin_never_exceeds_nominal(self, vmin2, spec2):
+        vmin = vmin2.safe_vmin_mv(
+            spec2.fmax_hz, (0,), workload_delta_mv=100.0
+        )
+        assert vmin <= spec2.nominal_voltage_mv
+
+    def test_same_threads_spreaded_equals_max_threads_class(
+        self, vmin3, spec3
+    ):
+        # Fig. 5: 16T(spreaded) behaves like 32T (both 16 PMDs).
+        full = vmin3.evaluate(
+            spec3.fmax_hz, cores_for(spec3, 32, Allocation.CLUSTERED)
+        )
+        spread = vmin3.evaluate(
+            spec3.fmax_hz, cores_for(spec3, 16, Allocation.SPREADED)
+        )
+        assert full.droop_class == spread.droop_class
+        assert full.base_mv == spread.base_mv
+
+
+class TestVariationFading:
+    """The paper's central finding: variation fades with core count."""
+
+    def test_attenuation_monotone(self):
+        values = [variation_attenuation(n) for n in range(1, 33)]
+        assert values == sorted(values, reverse=True)
+        assert values[0] == 1.0
+        assert values[-1] < 0.1
+
+    def test_single_core_sees_full_variation(self, vmin2):
+        lo = vmin2.safe_vmin_mv(ghz(2.4), (4,), workload_delta_mv=-20)
+        hi = vmin2.safe_vmin_mv(ghz(2.4), (1,), workload_delta_mv=20)
+        # Single-core: tens of mV of spread (Fig. 4).
+        assert hi - lo > 30
+
+    def test_multicore_spread_small(self, vmin2, spec2):
+        # Fig. 3: max ~10 mV across all benchmarks at fixed config.
+        cores = cores_for(spec2, 8, Allocation.CLUSTERED)
+        values = [
+            vmin2.safe_vmin_mv(ghz(2.4), cores, p.vmin_delta_mv)
+            for p in characterization_set()
+        ]
+        assert max(values) - min(values) <= 10.0
+
+    def test_breakdown_reports_attenuation(self, vmin2):
+        single = vmin2.evaluate(ghz(2.4), (0,))
+        full = vmin2.evaluate(ghz(2.4), tuple(range(8)))
+        assert single.attenuation == 1.0
+        assert full.attenuation < 0.1
+
+
+class TestFactorDecomposition:
+    """Fig. 10 reproduction straight from the model."""
+
+    def test_xgene2_factors(self, vmin2):
+        factors = vmin2.factor_decomposition()
+        assert factors["workload"] == pytest.approx(0.01, abs=0.005)
+        assert factors["core_allocation"] == pytest.approx(0.04, abs=0.01)
+        assert factors["clock_skipping"] == pytest.approx(0.03, abs=0.01)
+        assert factors["clock_division"] == pytest.approx(0.12, abs=0.015)
+
+    def test_xgene3_has_no_division_factor(self, vmin3):
+        assert vmin3.factor_decomposition()["clock_division"] == 0.0
+
+
+class TestChipToChipVariation:
+    def test_different_seeds_differ(self, spec2):
+        a = VminModel(spec2, silicon_seed=1)
+        b = VminModel(spec2, silicon_seed=2)
+        vmins_a = [a.safe_vmin_mv(ghz(2.4), (c,)) for c in range(8)]
+        vmins_b = [b.safe_vmin_mv(ghz(2.4), (c,)) for c in range(8)]
+        assert vmins_a != vmins_b
+
+    def test_same_seed_reproducible(self, spec3):
+        a = VminModel(spec3, silicon_seed=9)
+        b = VminModel(spec3, silicon_seed=9)
+        assert a.safe_vmin_mv(spec3.fmax_hz, (5,)) == b.safe_vmin_mv(
+            spec3.fmax_hz, (5,)
+        )
+
+    def test_unknown_platform_rejected(self, spec2):
+        bad = spec2.__class__(
+            **{**spec2.__dict__, "name": "Mystery"}
+        )
+        with pytest.raises(ConfigurationError):
+            VminModel(bad)

@@ -1,0 +1,85 @@
+"""Tests for the regression Vmin predictor (the rejected alternative)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.vmin.model import VminModel
+from repro.vmin.prediction import VminPredictor
+
+
+@pytest.fixture(scope="module")
+def fitted2():
+    from repro.platform.specs import xgene2_spec
+
+    spec = xgene2_spec()
+    model = VminModel(spec)
+    predictor = VminPredictor(spec)
+    points = predictor.sample_configurations(model, fraction=0.4, seed=1)
+    predictor.fit(points)
+    return spec, model, predictor
+
+
+class TestFitting:
+    def test_unfitted_rejects_prediction(self, spec2, namd):
+        predictor = VminPredictor(spec2)
+        with pytest.raises(ConfigurationError):
+            predictor.predict_mv((0,), spec2.fmax_hz, namd)
+
+    def test_needs_enough_points(self, spec2):
+        predictor = VminPredictor(spec2)
+        with pytest.raises(ConfigurationError):
+            predictor.fit([])
+
+    def test_sampling_fraction_validated(self, spec2, vmin2):
+        predictor = VminPredictor(spec2)
+        with pytest.raises(ConfigurationError):
+            predictor.sample_configurations(vmin2, fraction=0.0)
+
+    def test_sampling_deterministic(self, spec2, vmin2):
+        predictor = VminPredictor(spec2)
+        a = predictor.sample_configurations(vmin2, fraction=0.2, seed=5)
+        b = predictor.sample_configurations(vmin2, fraction=0.2, seed=5)
+        assert [p.vmin_mv for p in a] == [p.vmin_mv for p in b]
+
+
+class TestAccuracy:
+    def test_mean_error_small(self, fitted2):
+        # The predictor IS accurate on average — that's what makes it
+        # seductive.
+        spec, model, predictor = fitted2
+        report = predictor.evaluate(model)
+        assert report.mean_abs_error_mv < 15.0
+
+    def test_but_it_underpredicts_a_tail(self, fitted2):
+        # ... and that's what makes it dangerous (Section VI.A).
+        spec, model, predictor = fitted2
+        report = predictor.evaluate(model)
+        assert report.underpredicted_configs > 0
+        assert report.max_underprediction_mv > 5.0
+
+    def test_guard_closes_the_tail(self, fitted2):
+        spec, model, predictor = fitted2
+        guard = predictor.required_guard_mv(model)
+        report = predictor.evaluate(model, guard_mv=guard)
+        assert report.underpredicted_configs == 0
+
+    def test_required_guard_is_substantial(self, fitted2):
+        # The paper's argument in one number: the guard that makes the
+        # predictor safe hands back a large share of the reclaimable
+        # margin (tens of mV out of the ~60-110 mV guardband).
+        spec, model, predictor = fitted2
+        assert predictor.required_guard_mv(model) > 10.0
+
+    def test_underprediction_rate_fraction(self, fitted2):
+        spec, model, predictor = fitted2
+        report = predictor.evaluate(model)
+        assert 0.0 < report.underprediction_rate < 1.0
+
+    def test_prediction_tracks_pmd_count(self, fitted2, cg):
+        # Sanity: the fitted model learned the dominant feature.
+        spec, model, predictor = fitted2
+        few = predictor.predict_mv((0, 1), spec.fmax_hz, cg)
+        many = predictor.predict_mv(
+            tuple(range(8)), spec.fmax_hz, cg
+        )
+        assert many > few

@@ -1,0 +1,89 @@
+"""Tests for the benchmark profile dataclass validation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.profiles import BenchmarkProfile, Suite
+
+
+def make_profile(**overrides):
+    base = dict(
+        name="toy",
+        suite=Suite.SPEC_CPU2006,
+        parallel=False,
+        ref_time_s=100.0,
+        mem_fraction=0.5,
+        l3_rate_per_mcycles=4000.0,
+        bandwidth_gbs=3.0,
+        l2_sensitivity=0.5,
+        activity=1.0,
+        vmin_delta_mv=0.0,
+    )
+    base.update(overrides)
+    return BenchmarkProfile(**base)
+
+
+class TestValidation:
+    def test_valid_profile(self):
+        profile = make_profile()
+        assert profile.cpu_fraction == 0.5
+
+    @pytest.mark.parametrize("memf", [-0.1, 1.1])
+    def test_mem_fraction_bounds(self, memf):
+        with pytest.raises(ConfigurationError):
+            make_profile(mem_fraction=memf)
+
+    def test_ref_time_positive(self):
+        with pytest.raises(ConfigurationError):
+            make_profile(ref_time_s=0.0)
+
+    def test_rates_non_negative(self):
+        with pytest.raises(ConfigurationError):
+            make_profile(l3_rate_per_mcycles=-1.0)
+        with pytest.raises(ConfigurationError):
+            make_profile(bandwidth_gbs=-1.0)
+
+    def test_l2_sensitivity_bounds(self):
+        with pytest.raises(ConfigurationError):
+            make_profile(l2_sensitivity=1.2)
+
+    def test_activity_positive(self):
+        with pytest.raises(ConfigurationError):
+            make_profile(activity=0.0)
+
+    def test_parallel_efficiency_bounds(self):
+        with pytest.raises(ConfigurationError):
+            make_profile(parallel_efficiency=0.0)
+        with pytest.raises(ConfigurationError):
+            make_profile(parallel_efficiency=1.2)
+
+
+class TestDerived:
+    def test_cpu_cycles_frequency_invariant_quantity(self):
+        profile = make_profile(ref_time_s=10.0, mem_fraction=0.25)
+        assert profile.cpu_cycles == pytest.approx(10.0 * 0.75 * 3e9)
+
+    def test_mem_time(self):
+        profile = make_profile(ref_time_s=10.0, mem_fraction=0.25)
+        assert profile.mem_time_s == pytest.approx(2.5)
+
+    def test_reference_class(self):
+        assert make_profile(
+            l3_rate_per_mcycles=5000
+        ).is_memory_intensive_reference()
+        assert not make_profile(
+            l3_rate_per_mcycles=500
+        ).is_memory_intensive_reference()
+
+    def test_reference_class_custom_threshold(self):
+        profile = make_profile(l3_rate_per_mcycles=5000)
+        assert not profile.is_memory_intensive_reference(threshold=6000)
+
+    def test_droop_activity_mirrors_activity(self):
+        profile = make_profile(activity=1.3)
+        assert profile.droop_activity == 1.3
+
+    def test_frozen(self):
+        profile = make_profile()
+        with pytest.raises(AttributeError):
+            profile.activity = 2.0

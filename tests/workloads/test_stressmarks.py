@@ -1,0 +1,103 @@
+"""Tests for the stressmark (micro-virus) fast-characterization path."""
+
+import pytest
+
+from repro.core.policy import VminPolicyTable
+from repro.platform.specs import FrequencyClass
+from repro.vmin.droop import droop_ladder
+from repro.vmin.model import VminModel
+from repro.workloads.stressmarks import (
+    didt_virus,
+    memory_virus,
+    stressmark_set,
+)
+from repro.workloads.suites import all_benchmarks, characterization_set
+
+
+class TestProfiles:
+    def test_didt_virus_worst_delta(self):
+        virus = didt_virus()
+        assert virus.vmin_delta_mv >= max(
+            p.vmin_delta_mv for p in all_benchmarks()
+        )
+
+    def test_didt_virus_worst_activity(self):
+        virus = didt_virus()
+        assert virus.activity >= max(p.activity for p in all_benchmarks())
+
+    def test_memory_virus_saturates_bandwidth(self):
+        virus = memory_virus()
+        assert virus.bandwidth_gbs >= max(
+            p.bandwidth_gbs for p in all_benchmarks()
+        )
+
+    def test_memory_virus_classifies_memory(self):
+        assert memory_virus().is_memory_intensive_reference()
+
+    def test_set_contains_both(self):
+        names = {p.name for p in stressmark_set()}
+        assert names == {"didt_virus", "memory_virus"}
+
+
+class TestFastCharacterization:
+    """A stressmark-built table bounds the full 25-benchmark table."""
+
+    @pytest.mark.parametrize("platform_seed", [0, 4])
+    def test_stressmark_table_covers_benchmark_table(
+        self, spec2, platform_seed
+    ):
+        model = VminModel(spec2, silicon_seed=platform_seed)
+        fast = VminPolicyTable.from_characterization(
+            spec2, vmin_model=model, benchmarks=stressmark_set()
+        )
+        full = VminPolicyTable.from_characterization(
+            spec2, vmin_model=model, benchmarks=characterization_set()
+        )
+        for droop_class in range(len(droop_ladder(spec2))):
+            for freq_class in (
+                FrequencyClass.HIGH,
+                FrequencyClass.SKIP,
+                FrequencyClass.DIVIDE,
+            ):
+                assert (
+                    fast.entry(freq_class, droop_class).vmin_mv
+                    >= full.entry(freq_class, droop_class).vmin_mv
+                )
+
+    def test_stressmark_table_safe_against_every_benchmark(self, spec3):
+        from repro.allocation import Allocation, cores_for
+
+        model = VminModel(spec3)
+        fast = VminPolicyTable.from_characterization(
+            spec3, vmin_model=model, benchmarks=stressmark_set()
+        )
+        for nthreads in (1, 4, 16, 32):
+            for allocation in (Allocation.CLUSTERED, Allocation.SPREADED):
+                cores = cores_for(spec3, nthreads, allocation)
+                pmds = len({spec3.pmd_of_core(c) for c in cores})
+                level = fast.safe_voltage_mv(pmds, spec3.fmax_hz)
+                for profile in characterization_set():
+                    assert level >= model.safe_vmin_mv(
+                        spec3.fmax_hz, cores, profile.vmin_delta_mv
+                    )
+
+    def test_fast_campaign_is_cheaper(self):
+        # 2 stressmarks vs 25 benchmarks: the point of micro-viruses.
+        assert len(stressmark_set()) < len(characterization_set()) / 10
+
+    def test_stressmark_overhead_bounded(self, spec2):
+        # The bound must not be uselessly loose: within ~2 campaign
+        # steps of the full table everywhere.
+        model = VminModel(spec2)
+        fast = VminPolicyTable.from_characterization(
+            spec2, vmin_model=model, benchmarks=stressmark_set()
+        )
+        full = VminPolicyTable.from_characterization(
+            spec2, vmin_model=model, benchmarks=characterization_set()
+        )
+        for droop_class in range(len(droop_ladder(spec2))):
+            gap = (
+                fast.entry(FrequencyClass.HIGH, droop_class).vmin_mv
+                - full.entry(FrequencyClass.HIGH, droop_class).vmin_mv
+            )
+            assert 0 <= gap <= 20
