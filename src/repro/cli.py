@@ -7,8 +7,13 @@ Usage::
     repro fig7 --platform xgene2
     repro table3 --duration 600 --seed 7
     repro all --duration 600
+    repro run-all --jobs 4 --cache-dir ~/.cache/repro-vmin
 
 Each experiment prints the same rows/series the paper reports.
+``run-all`` fans the whole registry out over a process pool with
+memoized Vmin characterization: experiment output goes to stdout (in
+canonical registry order, byte-identical for any ``--jobs`` value) and
+the per-experiment timing/cache-hit summary table goes to stderr.
 """
 
 from __future__ import annotations
@@ -17,189 +22,45 @@ import argparse
 import sys
 from typing import Callable, Dict, List, Optional
 
-from .experiments import (
-    fig13_flow,
-    fig3_vmin_characterization,
-    fig4_core_variation,
-    fig5_pfail,
-    fig6_droops,
-    fig7_allocation_energy,
-    fig8_contention,
-    fig9_l3c_rates,
-    fig10_factors,
-    fig11_energy,
-    fig12_ed2p,
-    fig14_power_timeline,
-    fig15_load_timeline,
-    report,
-    table1,
-    table2,
-    tables34,
-    thermal_study,
-    variation_study,
-)
+from .errors import ConfigurationError
+from .experiments import orchestrator
+from .experiments.registry import REGISTRY, experiment_names
 
 
-def _show_table1(args: argparse.Namespace) -> None:
-    print(table1.run().format())
+def _make_command(name: str) -> Callable[[argparse.Namespace], None]:
+    def show(args: argparse.Namespace) -> None:
+        print(
+            orchestrator.render_experiment(
+                name,
+                platform=args.platform,
+                duration_s=args.duration,
+                seed=args.seed,
+                cache_dir=args.cache_dir,
+            )
+        )
+
+    return show
 
 
-def _show_fig3(args: argparse.Namespace) -> None:
-    print(fig3_vmin_characterization.run(args.platform).format())
-
-
-def _show_fig4(args: argparse.Namespace) -> None:
-    result = fig4_core_variation.run(args.platform)
-    print(result.format())
-    print(f"\ncore-to-core spread: {result.core_to_core_spread_mv():.0f} mV")
-    print(f"workload spread:     {result.workload_spread_mv():.0f} mV")
-    print(f"most robust PMD:     PMD{result.most_robust_pmd()}")
-
-
-def _show_fig5(args: argparse.Namespace) -> None:
-    print(fig5_pfail.run(args.platform).format())
-
-
-def _show_fig6(args: argparse.Namespace) -> None:
-    print(fig6_droops.run(args.platform).format())
-
-
-def _show_fig7(args: argparse.Namespace) -> None:
-    result = fig7_allocation_energy.run(args.platform)
-    print(result.format())
-    low, high = result.span()
-    print(f"\nspan: {low:.1f}% .. {high:+.1f}% (paper: -9.6% .. +14.2%)")
-
-
-def _show_fig8(args: argparse.Namespace) -> None:
-    print(fig8_contention.run(args.platform).format())
-
-
-def _show_fig9(args: argparse.Namespace) -> None:
-    result = fig9_l3c_rates.run(args.platform)
-    print(result.format())
-    print("\nmemory-intensive:", ", ".join(result.memory_intensive_set()))
-
-
-def _show_fig10(args: argparse.Namespace) -> None:
-    print(fig10_factors.run(args.platform).format())
-
-
-def _show_fig11(args: argparse.Namespace) -> None:
-    print(fig11_energy.run(args.platform).format())
-
-
-def _show_fig12(args: argparse.Namespace) -> None:
-    print(fig12_ed2p.run(args.platform).format())
-
-
-def _show_table2(args: argparse.Namespace) -> None:
-    print(table2.run(args.platform).format())
-
-
-def _show_fig13(args: argparse.Namespace) -> None:
-    result = fig13_flow.run(args.platform)
-    print(result.format())
-    print(f"\nviolations: {result.violations}")
-
-
-def _show_fig14(args: argparse.Namespace) -> None:
-    result = fig14_power_timeline.run(
-        args.platform, duration_s=args.duration, seed=args.seed
-    )
-    print(result.format())
-    base, opt = result.average_power()
-    print(
-        f"\naverage power: baseline {base:.2f} W, optimal {opt:.2f} W"
-    )
-
-
-def _show_fig15(args: argparse.Namespace) -> None:
-    result = fig15_load_timeline.run(
-        args.platform, duration_s=args.duration, seed=args.seed
-    )
-    print(result.format())
-
-
-def _show_table3(args: argparse.Namespace) -> None:
-    print(
-        tables34.run(
-            "xgene2", duration_s=args.duration, seed=args.seed
-        ).format()
-    )
-
-
-def _show_report(args: argparse.Namespace) -> None:
-    print(report.generate(duration_s=args.duration, seed=args.seed))
-
-
-def _show_thermal(args: argparse.Namespace) -> None:
-    result = thermal_study.run(args.platform, duration_s=args.duration)
-    print(result.format())
-
-
-def _show_variation(args: argparse.Namespace) -> None:
-    result = variation_study.run(
-        args.platform, duration_s=args.duration, seeds=range(4)
-    )
-    print(result.format())
-    print(
-        f"\nfull-chip spread {result.full_chip_spread_mv():.0f} mV; "
-        f"golden-die table unsafe on "
-        f"{result.foreign_table_unsafe_chips()} dies"
-    )
-
-
-def _show_table4(args: argparse.Namespace) -> None:
-    print(
-        tables34.run(
-            "xgene3", duration_s=args.duration, seed=args.seed
-        ).format()
-    )
-
-
+#: One CLI command per registry entry (kept for back-compatibility with
+#: the pre-orchestrator interface).
 COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
-    "table1": _show_table1,
-    "fig3": _show_fig3,
-    "fig4": _show_fig4,
-    "fig5": _show_fig5,
-    "fig6": _show_fig6,
-    "fig7": _show_fig7,
-    "fig8": _show_fig8,
-    "fig9": _show_fig9,
-    "fig10": _show_fig10,
-    "fig11": _show_fig11,
-    "fig12": _show_fig12,
-    "table2": _show_table2,
-    "fig13": _show_fig13,
-    "fig14": _show_fig14,
-    "fig15": _show_fig15,
-    "table3": _show_table3,
-    "table4": _show_table4,
-    "variation": _show_variation,
-    "thermal": _show_thermal,
-    "report": _show_report,
+    entry.name: _make_command(entry.name) for entry in REGISTRY
 }
 
 #: Default platform per experiment, where the paper fixes one.
 DEFAULT_PLATFORM: Dict[str, str] = {
-    "fig3": "xgene2",
-    "fig4": "xgene2",
-    "fig5": "xgene3",
-    "fig6": "xgene3",
-    "fig7": "xgene2",
-    "fig8": "xgene3",
-    "fig9": "xgene3",
-    "fig10": "xgene2",
-    "fig11": "xgene2",
-    "fig12": "xgene2",
-    "table2": "xgene3",
-    "fig13": "xgene2",
-    "fig14": "xgene3",
-    "fig15": "xgene3",
-    "variation": "xgene2",
-    "thermal": "xgene3",
+    entry.name: entry.default_platform
+    for entry in REGISTRY
+    if entry.default_platform is not None
 }
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be >= 1")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -210,8 +71,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(COMMANDS) + ["all", "list"],
-        help="experiment to regenerate ('list' shows the catalogue)",
+        choices=sorted(COMMANDS) + ["all", "list", "run-all"],
+        help="experiment to regenerate ('list' shows the catalogue, "
+        "'run-all' batches the registry through the orchestrator)",
     )
     parser.add_argument(
         "--platform",
@@ -228,28 +90,60 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--seed", type=int, default=0, help="workload generator seed"
     )
+    parser.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help="worker processes for 'run-all' (default: 1)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="PATH",
+        help="on-disk Vmin characterization cache shared across "
+        "processes and invocations (default: in-memory only)",
+    )
     return parser
+
+
+def _run_all(args: argparse.Namespace, names: List[str]) -> int:
+    """Orchestrated batch: output on stdout, summary table on stderr."""
+    summary = orchestrator.run_experiments(
+        names=names,
+        jobs=args.jobs,
+        platform=args.platform,
+        duration_s=args.duration,
+        seed=args.seed,
+        cache_dir=args.cache_dir,
+    )
+    sys.stdout.write(summary.merged_output())
+    sys.stdout.flush()
+    print(summary.format_table(), file=sys.stderr)
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
-    if args.experiment == "list":
-        for name in sorted(COMMANDS):
-            print(name)
-        return 0
-    names = sorted(COMMANDS) if args.experiment == "all" else [
-        args.experiment
-    ]
-    for name in names:
-        if args.platform is None:
-            args.platform = DEFAULT_PLATFORM.get(name, "xgene2")
-        print(f"== {name} ==")
-        COMMANDS[name](args)
-        print()
+    try:
+        if args.experiment == "list":
+            for name in sorted(COMMANDS):
+                print(name)
+            return 0
+        if args.experiment == "run-all":
+            return _run_all(args, list(experiment_names()))
         if args.experiment == "all":
-            args.platform = None
-    return 0
+            # Historical interface: sequential batch in alphabetical
+            # order.
+            return _run_all(args, sorted(COMMANDS))
+        print(f"== {args.experiment} ==")
+        COMMANDS[args.experiment](args)
+        print()
+        return 0
+    except ConfigurationError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -20,36 +20,19 @@
 | ``tables34`` | Tables III/IV — four-configuration evaluation |
 | ``variation_study`` | extension: chip-to-chip variation & golden-die risk |
 | ``thermal_study`` | extension: junction temperature, leakage, thermal guard |
+
+The catalogue itself lives in :mod:`repro.experiments.registry` and the
+parallel runner in :mod:`repro.experiments.orchestrator`. Submodules
+are imported **lazily** (PEP 562): ``import repro.experiments`` pays
+nothing until an experiment is actually touched, which keeps CLI
+startup fast.
 """
 
-from . import (
-    fig3_vmin_characterization,
-    fig13_flow,
-    fig4_core_variation,
-    fig5_pfail,
-    fig6_droops,
-    fig7_allocation_energy,
-    fig8_contention,
-    fig9_l3c_rates,
-    fig10_factors,
-    fig11_energy,
-    fig12_ed2p,
-    fig14_power_timeline,
-    fig15_load_timeline,
-    report,
-    table1,
-    table2,
-    tables34,
-    thermal_study,
-    variation_study,
-)
-from .energy_runner import CAMPAIGN_STEP_MV, EnergyRunner, RunMeasurement
+import importlib
+from typing import Tuple
 
-__all__ = [
-    "CAMPAIGN_STEP_MV",
-    "EnergyRunner",
-    "RunMeasurement",
-    "fig13_flow",
+_SUBMODULES: Tuple[str, ...] = (
+    "energy_runner",
     "fig3_vmin_characterization",
     "fig4_core_variation",
     "fig5_pfail",
@@ -60,12 +43,40 @@ __all__ = [
     "fig10_factors",
     "fig11_energy",
     "fig12_ed2p",
+    "fig13_flow",
     "fig14_power_timeline",
     "fig15_load_timeline",
+    "orchestrator",
+    "registry",
     "report",
     "table1",
     "table2",
     "tables34",
     "thermal_study",
     "variation_study",
-]
+)
+
+#: Names re-exported from :mod:`repro.experiments.energy_runner`.
+_ENERGY_RUNNER_EXPORTS: Tuple[str, ...] = (
+    "CAMPAIGN_STEP_MV",
+    "EnergyRunner",
+    "RunMeasurement",
+)
+
+__all__ = sorted(_SUBMODULES + _ENERGY_RUNNER_EXPORTS)
+
+
+def __getattr__(name: str):
+    """Lazily import submodules and the energy-runner exports."""
+    if name in _SUBMODULES:
+        return importlib.import_module(f"{__name__}.{name}")
+    if name in _ENERGY_RUNNER_EXPORTS:
+        module = importlib.import_module(f"{__name__}.energy_runner")
+        return getattr(module, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )
+
+
+def __dir__():
+    return __all__

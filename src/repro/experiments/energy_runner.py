@@ -34,6 +34,14 @@ from ..platform.chip import ChipState
 from ..platform.specs import ChipSpec
 from ..power.energy import ed2p
 from ..power.model import PowerModel
+from ..vmin.cache import (
+    VminCache,
+    get_default_cache,
+    make_key,
+    model_fingerprint,
+    occupancy_of,
+    spec_fingerprint,
+)
 from ..vmin.model import VminModel
 from ..workloads.profiles import BenchmarkProfile
 
@@ -75,10 +83,15 @@ class EnergyRunner:
         spec: ChipSpec,
         power_model: Optional[PowerModel] = None,
         vmin_model: Optional[VminModel] = None,
+        cache: Optional[VminCache] = None,
     ):
         self.spec = spec
         self.power_model = power_model or PowerModel(spec)
         self.vmin_model = vmin_model or VminModel(spec)
+        #: Explicit characterization cache, or ``None`` for the process
+        #: default (see :mod:`repro.vmin.cache`).
+        self.cache = cache
+        self._fingerprints: Optional[tuple] = None
 
     def safe_voltage_mv(
         self,
@@ -90,14 +103,41 @@ class EnergyRunner:
         """Characterized safe Vmin of the configuration, stepped up.
 
         This is what the campaign of Section III.A would report: the true
-        Vmin rounded up to the 10 mV sweep step.
+        Vmin rounded up to the 10 mV sweep step. Results are memoized in
+        the characterization cache — the energy sweeps of Figs. 7/11/12
+        revisit the same configurations many times.
         """
         cores = cores_for(self.spec, nthreads, allocation)
+        if self._fingerprints is None:
+            self._fingerprints = (
+                spec_fingerprint(self.spec),
+                model_fingerprint(self.vmin_model),
+            )
+        spec_fp, model_fp = self._fingerprints
+        cache = self.cache if self.cache is not None else get_default_cache()
+        freq = self.spec.nearest_frequency(freq_hz)
+        key = make_key(
+            kind="safe_voltage",
+            spec=spec_fp,
+            model=model_fp,
+            freq_class=self.spec.frequency_class(freq).value,
+            cores=sorted(cores),
+            pmd_occupancy=occupancy_of(self.spec, cores),
+            workload=profile.name,
+            workload_delta_mv=profile.vmin_delta_mv,
+            seed=0,
+            step_mv=CAMPAIGN_STEP_MV,
+        )
+        cached = cache.get(key)
+        if cached is not None:
+            return int(cached)
         true_vmin = self.vmin_model.safe_vmin_mv(
             freq_hz, cores, profile.vmin_delta_mv
         )
         stepped = int(-(-true_vmin // CAMPAIGN_STEP_MV) * CAMPAIGN_STEP_MV)
-        return min(stepped, self.spec.nominal_voltage_mv)
+        voltage = min(stepped, self.spec.nominal_voltage_mv)
+        cache.put(key, voltage)
+        return voltage
 
     def measure(
         self,

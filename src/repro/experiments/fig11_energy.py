@@ -122,11 +122,20 @@ def run(
     return result
 
 
+def render(
+    platform: str | None = None,
+    duration_s: float = 600.0,
+    seed: int = 0,
+) -> str:
+    """Render the Fig. 11 energy sweep for one platform."""
+    return run(platform or "xgene2").format()
+
+
 def main() -> None:
-    """Print Fig. 11 for both platforms."""
-    for platform in ("xgene2", "xgene3"):
-        print(run(platform).format())
-        print()
+    """Print Fig. 11 via the orchestrator."""
+    from .orchestrator import run_main
+
+    run_main("fig11")
 
 
 if __name__ == "__main__":

@@ -114,11 +114,20 @@ def run(
     return result
 
 
+def render(
+    platform: str | None = None,
+    duration_s: float = 600.0,
+    seed: int = 0,
+) -> str:
+    """Render the Fig. 12 ED2P sweep for one platform."""
+    return run(platform or "xgene2").format()
+
+
 def main() -> None:
-    """Print Fig. 12 for both platforms."""
-    for platform in ("xgene2", "xgene3"):
-        print(run(platform).format())
-        print()
+    """Print Fig. 12 via the orchestrator."""
+    from .orchestrator import run_main
+
+    run_main("fig12")
 
 
 if __name__ == "__main__":

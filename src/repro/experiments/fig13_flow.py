@@ -150,11 +150,21 @@ def run(platform: str = "xgene2") -> Fig13Result:
     return result
 
 
+def render(
+    platform: str | None = None,
+    duration_s: float = 600.0,
+    seed: int = 0,
+) -> str:
+    """Render the Fig. 13 decision flow with its violation count."""
+    result = run(platform or "xgene2")
+    return f"{result.format()}\n\nviolations: {result.violations}"
+
+
 def main() -> None:
-    """Print the traced flow."""
-    result = run()
-    print(result.format())
-    print(f"\nviolations: {result.violations}")
+    """Print the traced flow via the orchestrator."""
+    from .orchestrator import run_main
+
+    run_main("fig13")
 
 
 if __name__ == "__main__":

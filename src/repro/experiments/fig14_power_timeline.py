@@ -89,15 +89,25 @@ def run(
     )
 
 
-def main() -> None:
-    """Print Fig. 14 (10-minute run for a quick look)."""
-    result = run(duration_s=600.0)
-    print(result.format())
+def render(
+    platform: str | None = None,
+    duration_s: float = 600.0,
+    seed: int = 0,
+) -> str:
+    """Render the Fig. 14 power timeline with average powers."""
+    result = run(platform or "xgene3", duration_s=duration_s, seed=seed)
     base, opt = result.average_power()
-    print(
-        f"\naverage power: baseline {base:.2f} W, optimal {opt:.2f} W "
-        f"({result.reduction_pct():.1f}% lower)"
+    return (
+        f"{result.format()}\n"
+        f"\naverage power: baseline {base:.2f} W, optimal {opt:.2f} W"
     )
+
+
+def main() -> None:
+    """Print Fig. 14 via the orchestrator."""
+    from .orchestrator import run_main
+
+    run_main("fig14")
 
 
 if __name__ == "__main__":

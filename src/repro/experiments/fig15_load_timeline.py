@@ -103,11 +103,20 @@ def run(
     )
 
 
+def render(
+    platform: str | None = None,
+    duration_s: float = 600.0,
+    seed: int = 0,
+) -> str:
+    """Render the Fig. 15 load timeline."""
+    return run(platform or "xgene3", duration_s=duration_s, seed=seed).format()
+
+
 def main() -> None:
-    """Print Fig. 15 (10-minute run for a quick look)."""
-    result = run(duration_s=600.0)
-    print(result.format())
-    print(f"\npeak load: {result.peak_load()} busy cores")
+    """Print Fig. 15 via the orchestrator."""
+    from .orchestrator import run_main
+
+    run_main("fig15")
 
 
 if __name__ == "__main__":

@@ -138,11 +138,20 @@ def run(
     return result
 
 
+def render(
+    platform: str | None = None,
+    duration_s: float = 600.0,
+    seed: int = 0,
+) -> str:
+    """Render the Fig. 3 campaign for one platform."""
+    return run(platform or "xgene2").format()
+
+
 def main() -> None:
-    """Print the Fig. 3 characterization for both platforms."""
-    for platform in ("xgene2", "xgene3"):
-        print(run(platform).format())
-        print()
+    """Print the Fig. 3 characterization via the orchestrator."""
+    from .orchestrator import run_main
+
+    run_main("fig3")
 
 
 if __name__ == "__main__":

@@ -151,15 +151,26 @@ def run(
     return result
 
 
+def render(
+    platform: str | None = None,
+    duration_s: float = 600.0,
+    seed: int = 0,
+) -> str:
+    """Render Fig. 4 with its spread summary."""
+    result = run(platform or "xgene2")
+    return (
+        f"{result.format()}\n"
+        f"\ncore-to-core spread: {result.core_to_core_spread_mv():.0f} mV"
+        f"\nworkload spread:     {result.workload_spread_mv():.0f} mV"
+        f"\nmost robust PMD:     PMD{result.most_robust_pmd()}"
+    )
+
+
 def main() -> None:
-    """Print the Fig. 4 summary."""
-    result = run()
-    print(result.format())
-    print()
-    print(f"core-to-core spread: {result.core_to_core_spread_mv():.0f} mV")
-    print(f"workload spread:     {result.workload_spread_mv():.0f} mV")
-    print(f"most robust PMD:     PMD{result.most_robust_pmd()}")
-    print(f"most sensitive PMD:  PMD{result.most_sensitive_pmd()}")
+    """Print the Fig. 4 summary via the orchestrator."""
+    from .orchestrator import run_main
+
+    run_main("fig4")
 
 
 if __name__ == "__main__":

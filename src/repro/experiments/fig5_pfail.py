@@ -139,11 +139,20 @@ def run(
     return result
 
 
+def render(
+    platform: str | None = None,
+    duration_s: float = 600.0,
+    seed: int = 0,
+) -> str:
+    """Render the Fig. 5 pfail curves for one platform."""
+    return run(platform or "xgene3").format()
+
+
 def main() -> None:
-    """Print Fig. 5 for both platforms at max frequency."""
-    for platform in ("xgene2", "xgene3"):
-        print(run(platform).format())
-        print()
+    """Print Fig. 5 via the orchestrator."""
+    from .orchestrator import run_main
+
+    run_main("fig5")
 
 
 if __name__ == "__main__":

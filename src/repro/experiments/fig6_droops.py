@@ -122,9 +122,20 @@ def run(
     return result
 
 
+def render(
+    platform: str | None = None,
+    duration_s: float = 600.0,
+    seed: int = 0,
+) -> str:
+    """Render the Fig. 6 droop histogram for one platform."""
+    return run(platform or "xgene3").format()
+
+
 def main() -> None:
-    """Print Fig. 6 for X-Gene 3."""
-    print(run().format())
+    """Print Fig. 6 via the orchestrator."""
+    from .orchestrator import run_main
+
+    run_main("fig6")
 
 
 if __name__ == "__main__":

@@ -108,12 +108,25 @@ def run(
     return result
 
 
-def main() -> None:
-    """Print Fig. 7."""
-    result = run()
-    print(result.format())
+def render(
+    platform: str | None = None,
+    duration_s: float = 600.0,
+    seed: int = 0,
+) -> str:
+    """Render Fig. 7 with its allocation-energy span."""
+    result = run(platform or "xgene2")
     low, high = result.span()
-    print(f"\nspan: {low:.1f}% .. {high:+.1f}% (paper: -9.6% .. +14.2%)")
+    return (
+        f"{result.format()}\n"
+        f"\nspan: {low:.1f}% .. {high:+.1f}% (paper: -9.6% .. +14.2%)"
+    )
+
+
+def main() -> None:
+    """Print Fig. 7 via the orchestrator."""
+    from .orchestrator import run_main
+
+    run_main("fig7")
 
 
 if __name__ == "__main__":

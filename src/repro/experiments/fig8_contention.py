@@ -89,11 +89,20 @@ def run(
     return result
 
 
+def render(
+    platform: str | None = None,
+    duration_s: float = 600.0,
+    seed: int = 0,
+) -> str:
+    """Render the Fig. 8 contention ratios for one platform."""
+    return run(platform or "xgene3").format()
+
+
 def main() -> None:
-    """Print Fig. 8 for both platforms."""
-    for platform in ("xgene2", "xgene3"):
-        print(run(platform).format())
-        print()
+    """Print Fig. 8 via the orchestrator."""
+    from .orchestrator import run_main
+
+    run_main("fig8")
 
 
 if __name__ == "__main__":

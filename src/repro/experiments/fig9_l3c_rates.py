@@ -139,12 +139,24 @@ def run(
     return result
 
 
+def render(
+    platform: str | None = None,
+    duration_s: float = 600.0,
+    seed: int = 0,
+) -> str:
+    """Render Fig. 9 with the memory-intensive set."""
+    result = run(platform or "xgene3")
+    return (
+        f"{result.format()}\n"
+        f"\nmemory-intensive: {', '.join(result.memory_intensive_set())}"
+    )
+
+
 def main() -> None:
-    """Print Fig. 9."""
-    result = run()
-    print(result.format())
-    print("\nmemory-intensive set:", ", ".join(result.memory_intensive_set()))
-    print("classes stable across thread counts:", result.classes_stable())
+    """Print Fig. 9 via the orchestrator."""
+    from .orchestrator import run_main
+
+    run_main("fig9")
 
 
 if __name__ == "__main__":

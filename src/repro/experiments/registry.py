@@ -1,0 +1,289 @@
+"""Explicit experiment registry: the catalogue the orchestrator schedules.
+
+Each paper artefact regenerator is described by one
+:class:`ExperimentEntry`: its CLI name, the paper artefact it
+reproduces, the module that implements it (imported lazily — this
+module stays import-light so CLI startup does not pay for the whole
+experiments package), its dependencies and a relative cost hint used by
+the scheduler to start long-running experiments first.
+
+Every experiment module exposes a uniform ``render`` function::
+
+    def render(platform=None, duration_s=600.0, seed=0) -> str
+
+returning exactly the text the CLI prints for that experiment
+(``platform=None`` selects the paper's platform). Modules with several
+artefacts (``tables34``) use a distinct ``render_name`` per entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+
+#: Root package of the experiment modules.
+_PACKAGE = "repro.experiments"
+
+
+@dataclass(frozen=True)
+class ExperimentEntry:
+    """One schedulable experiment in the registry."""
+
+    #: CLI/registry name, e.g. ``fig7``.
+    name: str
+    #: Paper artefact the experiment regenerates.
+    artefact: str
+    #: Module implementing the experiment, relative to ``repro.experiments``.
+    module: str
+    #: Names of experiments that must complete first (e.g. the report
+    #: waits for everything it summarizes, so their campaigns are warm).
+    depends: Tuple[str, ...] = ()
+    #: Relative cost hint in seconds; the scheduler launches costly
+    #: experiments first to minimize the parallel makespan.
+    cost: float = 0.1
+    #: Paper platform, or ``None`` for platform-independent artefacts.
+    default_platform: Optional[str] = None
+    #: Name of the module's render function.
+    render_name: str = "render"
+    #: Whether the experiment consumes ``duration_s``/``seed``.
+    timed: bool = False
+
+    @property
+    def module_path(self) -> str:
+        """Fully qualified dotted module path."""
+        return f"{_PACKAGE}.{self.module}"
+
+
+#: The registry, in canonical (paper) order. Output of ``run-all`` is
+#: merged in this order regardless of parallel completion order.
+REGISTRY: Tuple[ExperimentEntry, ...] = (
+    ExperimentEntry(
+        name="table1",
+        artefact="Table I — platform parameters",
+        module="table1",
+        cost=0.01,
+    ),
+    ExperimentEntry(
+        name="fig3",
+        artefact="Fig. 3 — safe-Vmin campaign",
+        module="fig3_vmin_characterization",
+        cost=0.05,
+        default_platform="xgene2",
+    ),
+    ExperimentEntry(
+        name="fig4",
+        artefact="Fig. 4 — single/two-core regions",
+        module="fig4_core_variation",
+        cost=0.05,
+        default_platform="xgene2",
+    ),
+    ExperimentEntry(
+        name="fig5",
+        artefact="Fig. 5 — failure probability curves",
+        module="fig5_pfail",
+        cost=0.02,
+        default_platform="xgene3",
+    ),
+    ExperimentEntry(
+        name="fig6",
+        artefact="Fig. 6 — droop detections per bin",
+        module="fig6_droops",
+        cost=0.02,
+        default_platform="xgene3",
+    ),
+    ExperimentEntry(
+        name="fig7",
+        artefact="Fig. 7 — clustered vs spreaded energy",
+        module="fig7_allocation_energy",
+        cost=0.02,
+        default_platform="xgene2",
+    ),
+    ExperimentEntry(
+        name="fig8",
+        artefact="Fig. 8 — full-chip contention ratios",
+        module="fig8_contention",
+        cost=0.02,
+        default_platform="xgene3",
+    ),
+    ExperimentEntry(
+        name="fig9",
+        artefact="Fig. 9 — L3C access rates + threshold",
+        module="fig9_l3c_rates",
+        cost=0.02,
+        default_platform="xgene3",
+    ),
+    ExperimentEntry(
+        name="fig10",
+        artefact="Fig. 10 — Vmin factor decomposition",
+        module="fig10_factors",
+        cost=0.02,
+        default_platform="xgene2",
+    ),
+    ExperimentEntry(
+        name="fig11",
+        artefact="Fig. 11 — energy across configurations",
+        module="fig11_energy",
+        cost=0.02,
+        default_platform="xgene2",
+    ),
+    ExperimentEntry(
+        name="fig12",
+        artefact="Fig. 12 — ED2P across configurations",
+        module="fig12_ed2p",
+        cost=0.02,
+        default_platform="xgene2",
+    ),
+    ExperimentEntry(
+        name="table2",
+        artefact="Table II — droop classes and safe Vmin",
+        module="table2",
+        cost=0.05,
+        default_platform="xgene3",
+    ),
+    ExperimentEntry(
+        name="fig13",
+        artefact="Fig. 13 — traced daemon decision flow",
+        module="fig13_flow",
+        cost=0.1,
+        default_platform="xgene2",
+    ),
+    ExperimentEntry(
+        name="fig14",
+        artefact="Fig. 14 — Baseline vs Optimal power",
+        module="fig14_power_timeline",
+        cost=0.7,
+        default_platform="xgene3",
+        timed=True,
+    ),
+    ExperimentEntry(
+        name="fig15",
+        artefact="Fig. 15 — load and process classes",
+        module="fig15_load_timeline",
+        cost=0.7,
+        default_platform="xgene3",
+        timed=True,
+    ),
+    ExperimentEntry(
+        name="table3",
+        artefact="Table III — X-Gene 2 four-configuration evaluation",
+        module="tables34",
+        cost=0.7,
+        render_name="render_table3",
+        timed=True,
+    ),
+    ExperimentEntry(
+        name="table4",
+        artefact="Table IV — X-Gene 3 four-configuration evaluation",
+        module="tables34",
+        cost=1.1,
+        render_name="render_table4",
+        timed=True,
+    ),
+    ExperimentEntry(
+        name="variation",
+        artefact="extension: chip-to-chip variation & golden-die risk",
+        module="variation_study",
+        cost=2.7,
+        default_platform="xgene2",
+        timed=True,
+    ),
+    ExperimentEntry(
+        name="thermal",
+        artefact="extension: junction temperature, leakage, thermal guard",
+        module="thermal_study",
+        cost=5.0,
+        default_platform="xgene3",
+        timed=True,
+    ),
+    ExperimentEntry(
+        name="report",
+        artefact="EXPERIMENTS.md-style reproduction report",
+        module="report",
+        depends=(
+            "fig3",
+            "fig4",
+            "fig5",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig11",
+            "fig12",
+            "table2",
+            "table3",
+            "table4",
+        ),
+        cost=2.2,
+        timed=True,
+    ),
+)
+
+_BY_NAME: Dict[str, ExperimentEntry] = {
+    entry.name: entry for entry in REGISTRY
+}
+
+
+def experiment_names() -> Tuple[str, ...]:
+    """All registered experiment names in canonical order."""
+    return tuple(entry.name for entry in REGISTRY)
+
+
+def get_entry(name: str) -> ExperimentEntry:
+    """Registry entry for ``name``."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown experiment {name!r}; known: "
+            f"{', '.join(experiment_names())}"
+        ) from None
+
+
+def topological_order(
+    names: Sequence[str],
+    registry: Sequence[ExperimentEntry] = REGISTRY,
+) -> List[ExperimentEntry]:
+    """Entries for ``names`` in a deterministic dependency-safe order.
+
+    Dependencies outside the selection are ignored (running ``report``
+    alone must work); among ready entries the canonical registry order
+    breaks ties, so the result is stable. ``registry`` defaults to the
+    package registry and exists for testing alternative catalogues.
+    """
+    if registry is REGISTRY:
+        selected = [get_entry(name) for name in dict.fromkeys(names)]
+    else:
+        by_name = {entry.name: entry for entry in registry}
+        try:
+            selected = [
+                by_name[name] for name in dict.fromkeys(names)
+            ]
+        except KeyError as exc:
+            raise ConfigurationError(
+                f"unknown experiment {exc.args[0]!r}"
+            ) from None
+    chosen = {entry.name for entry in selected}
+    remaining = {
+        entry.name: {dep for dep in entry.depends if dep in chosen}
+        for entry in selected
+    }
+    order: List[ExperimentEntry] = []
+    while remaining:
+        ready = [
+            entry
+            for entry in registry
+            if entry.name in remaining and not remaining[entry.name]
+        ]
+        if not ready:
+            cycle = ", ".join(sorted(remaining))
+            raise ConfigurationError(
+                f"dependency cycle among experiments: {cycle}"
+            )
+        for entry in ready:
+            del remaining[entry.name]
+            for deps in remaining.values():
+                deps.discard(entry.name)
+            order.append(entry)
+    return order

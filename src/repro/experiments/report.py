@@ -212,9 +212,20 @@ def _evaluation_section(
         )
 
 
+def render(
+    platform: str | None = None,
+    duration_s: float = 600.0,
+    seed: int = 0,
+) -> str:
+    """Render the full reproduction report (both platforms)."""
+    return generate(duration_s=duration_s, seed=seed)
+
+
 def main() -> None:
-    """Print a quick report (10-minute evaluation workloads)."""
-    print(generate(duration_s=600.0))
+    """Print a quick report via the orchestrator."""
+    from .orchestrator import run_main
+
+    run_main("report")
 
 
 if __name__ == "__main__":

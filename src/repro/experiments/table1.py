@@ -77,9 +77,20 @@ def run() -> Table1Result:
     return Table1Result(xgene2=get_spec("xgene2"), xgene3=get_spec("xgene3"))
 
 
+def render(
+    platform: str | None = None,
+    duration_s: float = 600.0,
+    seed: int = 0,
+) -> str:
+    """Render Table I (platform-independent: always both chips)."""
+    return run().format()
+
+
 def main() -> None:
-    """Print Table I."""
-    print(run().format())
+    """Print Table I via the orchestrator."""
+    from .orchestrator import run_main
+
+    run_main("table1")
 
 
 if __name__ == "__main__":

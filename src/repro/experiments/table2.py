@@ -118,11 +118,20 @@ def run(
     return result
 
 
+def render(
+    platform: str | None = None,
+    duration_s: float = 600.0,
+    seed: int = 0,
+) -> str:
+    """Render Table II for one platform."""
+    return run(platform or "xgene3").format()
+
+
 def main() -> None:
-    """Print Table II for both platforms."""
-    for platform in ("xgene3", "xgene2"):
-        print(run(platform).format())
-        print()
+    """Print Table II via the orchestrator."""
+    from .orchestrator import run_main
+
+    run_main("table2")
 
 
 if __name__ == "__main__":

@@ -112,11 +112,30 @@ def run_table4(
     return run("xgene3", duration_s=duration_s, seed=seed)
 
 
+def render_table3(
+    platform: str | None = None,
+    duration_s: float = 600.0,
+    seed: int = 0,
+) -> str:
+    """Render Table III (the paper fixes it to X-Gene 2)."""
+    return run("xgene2", duration_s=duration_s, seed=seed).format()
+
+
+def render_table4(
+    platform: str | None = None,
+    duration_s: float = 600.0,
+    seed: int = 0,
+) -> str:
+    """Render Table IV (the paper fixes it to X-Gene 3)."""
+    return run("xgene3", duration_s=duration_s, seed=seed).format()
+
+
 def main() -> None:
-    """Print both tables (full 1-hour workloads; takes ~30 s)."""
-    for platform in ("xgene2", "xgene3"):
-        print(run(platform).format())
-        print()
+    """Print both tables via the orchestrator."""
+    from .orchestrator import run_main
+
+    run_main("table3")
+    run_main("table4")
 
 
 if __name__ == "__main__":

@@ -135,27 +135,20 @@ def run(
     return result
 
 
+def render(
+    platform: str | None = None,
+    duration_s: float = 600.0,
+    seed: int = 0,
+) -> str:
+    """Render the thermal sweep."""
+    return run(platform or "xgene3", duration_s=duration_s).format()
+
+
 def main() -> None:
-    """Print the thermal sweep."""
-    result = run()
-    print(result.format())
-    print(
-        f"\nenergy grows {result.energy_increase_pct():.1f}% from the "
-        f"coolest to the hottest ambient (leakage)."
-    )
-    unsafe = result.first_unsafe_ambient_c()
-    if unsafe is None:
-        print(
-            "the calibration-temperature table stayed safe across the "
-            "sweep: its 10 mV measurement quantization plus the 5 mV "
-            "guard absorb the observed junction excursions."
-        )
-    else:
-        print(
-            f"the calibration-temperature table first undervolts at "
-            f"{unsafe:.0f} C ambient - a thermal guard (last column) "
-            f"is required there."
-        )
+    """Print the thermal sweep via the orchestrator."""
+    from .orchestrator import run_main
+
+    run_main("thermal")
 
 
 if __name__ == "__main__":

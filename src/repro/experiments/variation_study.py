@@ -18,7 +18,7 @@ variation is not yet attenuated.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 from ..allocation import Allocation, cores_for
 from ..analysis.tables import format_table
@@ -183,27 +183,26 @@ def run(
     return result
 
 
+def render(
+    platform: str | None = None,
+    duration_s: float = 600.0,
+    seed: int = 0,
+) -> str:
+    """Render the chip-to-chip variation study."""
+    result = run(platform or "xgene2", duration_s=duration_s, seeds=range(4))
+    return (
+        f"{result.format()}\n"
+        f"\nfull-chip spread {result.full_chip_spread_mv():.0f} mV; "
+        f"golden-die table unsafe on "
+        f"{result.foreign_table_unsafe_chips()} dies"
+    )
+
+
 def main() -> None:
-    """Print the variation study for X-Gene 2."""
-    result = run()
-    print(result.format())
-    print()
-    print(
-        f"single-core Vmin spread across dies: "
-        f"{result.single_core_spread_mv():.0f} mV"
-    )
-    print(
-        f"full-chip Vmin spread across dies:   "
-        f"{result.full_chip_spread_mv():.0f} mV"
-    )
-    print(
-        f"per-chip tables always safe:         "
-        f"{result.own_table_always_safe()}"
-    )
-    print(
-        f"dies unsafe under the foreign table: "
-        f"{result.foreign_table_unsafe_chips()}/{len(result.records)}"
-    )
+    """Print the variation study via the orchestrator."""
+    from .orchestrator import run_main
+
+    run_main("variation")
 
 
 if __name__ == "__main__":

@@ -49,6 +49,7 @@ __all__ = [
     "FrequencyClass",
     "FrequencyTransition",
     "KernelModuleReader",
+    "LEAKAGE_TEMP_COEFF_PER_C",
     "PLATFORMS",
     "PerfToolReader",
     "Pmu",
@@ -56,6 +57,7 @@ __all__ = [
     "THERMAL_PARAMS",
     "ThermalModel",
     "ThermalParams",
+    "VMIN_TEMP_SENSITIVITY_MV_PER_C",
     "VoltageTransition",
     "get_spec",
     "l3_rate_per_mcycles",

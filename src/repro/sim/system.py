@@ -18,7 +18,7 @@ do, which is what the fail-safe ablation measures.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import SimulationError, SystemCrash

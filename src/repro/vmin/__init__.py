@@ -6,6 +6,17 @@ truth (Sections III and IV), and the characterization campaigns re-derive
 it exactly the way the authors did on hardware.
 """
 
+from .cache import (
+    CacheStats,
+    VminCache,
+    configure_default_cache,
+    get_default_cache,
+    make_key,
+    model_fingerprint,
+    reset_default_cache,
+    set_default_cache,
+    spec_fingerprint,
+)
 from .characterize import (
     CharacterizationPoint,
     SafeVminResult,
@@ -48,6 +59,7 @@ from .variation import (
 )
 
 __all__ = [
+    "CacheStats",
     "CharacterizationPoint",
     "PredictionReport",
     "TrainingPoint",
@@ -65,14 +77,22 @@ __all__ = [
     "UnsafeRegion",
     "UnsafeScanResult",
     "VminBreakdown",
+    "VminCache",
     "VminCampaign",
     "VminModel",
     "VoltageStepRecord",
+    "configure_default_cache",
     "droop_bin",
     "droop_bin_index",
     "droop_ladder",
+    "get_default_cache",
+    "make_key",
     "make_variation_map",
     "max_core_offset_mv",
+    "model_fingerprint",
+    "reset_default_cache",
+    "set_default_cache",
+    "spec_fingerprint",
     "max_droop_mv",
     "variation_attenuation",
     "workload_delta_limit_mv",

@@ -27,6 +27,15 @@ import numpy as np
 from ..allocation import Allocation, cores_for
 from ..errors import CharacterizationError
 from ..platform.specs import ChipSpec
+from .cache import (
+    VminCache,
+    fault_fingerprint,
+    get_default_cache,
+    make_key,
+    model_fingerprint,
+    occupancy_of,
+    spec_fingerprint,
+)
 from .faults import FAULT_OUTCOMES, OUTCOME_PASS, FaultModel
 from .model import VminModel
 
@@ -113,6 +122,7 @@ class VminCampaign:
         pass_runs: int = 1000,
         scan_runs: int = 60,
         seed: int = 0,
+        cache: Optional[VminCache] = None,
     ):
         if step_mv <= 0:
             raise CharacterizationError("step_mv must be positive")
@@ -124,7 +134,12 @@ class VminCampaign:
         self.step_mv = step_mv
         self.pass_runs = pass_runs
         self.scan_runs = scan_runs
+        self.seed = seed
+        #: Explicit cache, or ``None`` to use the process default; pass
+        #: ``VminCache(capacity=0)`` to opt out of memoization.
+        self.cache = cache
         self._rng = np.random.default_rng(seed)
+        self._fingerprints: Optional[Tuple[str, str, str]] = None
 
     # -- configuration helpers -------------------------------------------------
 
@@ -163,6 +178,70 @@ class VminCampaign:
         )
         return breakdown.total_mv, breakdown.droop_class
 
+    # -- memoization -------------------------------------------------------------
+
+    def _cache_backend(self) -> VminCache:
+        return self.cache if self.cache is not None else get_default_cache()
+
+    def _campaign_key(
+        self,
+        kind: str,
+        point: CharacterizationPoint,
+        mode: str,
+        runs: int,
+        **extra: object,
+    ) -> str:
+        if self._fingerprints is None:
+            self._fingerprints = (
+                spec_fingerprint(self.spec),
+                model_fingerprint(self.vmin_model),
+                fault_fingerprint(self.fault_model),
+            )
+        spec_fp, model_fp, fault_fp = self._fingerprints
+        return make_key(
+            kind=kind,
+            spec=spec_fp,
+            model=model_fp,
+            faults=fault_fp,
+            freq_class=self.spec.frequency_class(point.freq_hz).value,
+            cores=sorted(point.cores),
+            pmd_occupancy=occupancy_of(self.spec, point.cores),
+            workload=point.workload,
+            workload_delta_mv=point.workload_delta_mv,
+            seed=self.seed,
+            step_mv=self.step_mv,
+            runs=runs,
+            mode=mode,
+            **extra,
+        )
+
+    @staticmethod
+    def _encode_steps(steps: List[VoltageStepRecord]) -> List[Dict]:
+        return [
+            {
+                "voltage_mv": record.voltage_mv,
+                "runs": record.runs,
+                "pfail": record.pfail,
+                "outcomes": dict(record.outcomes),
+            }
+            for record in steps
+        ]
+
+    @staticmethod
+    def _decode_steps(encoded: List[Dict]) -> List[VoltageStepRecord]:
+        return [
+            VoltageStepRecord(
+                voltage_mv=int(entry["voltage_mv"]),
+                runs=int(entry["runs"]),
+                pfail=float(entry["pfail"]),
+                outcomes={
+                    str(tag): int(count)
+                    for tag, count in entry["outcomes"].items()
+                },
+            )
+            for entry in encoded
+        ]
+
     # -- safe-Vmin search --------------------------------------------------------
 
     def measure_safe_vmin(
@@ -179,6 +258,21 @@ class VminCampaign:
         """
         if mode not in ("analytic", "trials"):
             raise CharacterizationError(f"unknown mode {mode!r}")
+        # Trials mode consumes RNG state, so replaying it from a cache
+        # would change subsequent draws; only analytic sweeps memoize.
+        cache = self._cache_backend() if mode == "analytic" else None
+        key = ""
+        if cache is not None:
+            key = self._campaign_key("safe_vmin", point, mode, self.pass_runs)
+            cached = cache.get(key)
+            if cached is not None:
+                return SafeVminResult(
+                    point=point,
+                    safe_vmin_mv=int(cached["safe_vmin_mv"]),
+                    true_vmin_mv=float(cached["true_vmin_mv"]),
+                    steps=self._decode_steps(cached["steps"]),
+                    runs_per_step=int(cached["runs_per_step"]),
+                )
         true_vmin, droop_class = self._true_vmin(point)
         steps: List[VoltageStepRecord] = []
         safe = self.spec.nominal_voltage_mv
@@ -192,13 +286,24 @@ class VminCampaign:
                 break
             safe = voltage
             voltage -= self.step_mv
-        return SafeVminResult(
+        result = SafeVminResult(
             point=point,
             safe_vmin_mv=safe,
             true_vmin_mv=true_vmin,
             steps=steps,
             runs_per_step=self.pass_runs,
         )
+        if cache is not None:
+            cache.put(
+                key,
+                {
+                    "safe_vmin_mv": result.safe_vmin_mv,
+                    "true_vmin_mv": result.true_vmin_mv,
+                    "runs_per_step": result.runs_per_step,
+                    "steps": self._encode_steps(result.steps),
+                },
+            )
+        return result
 
     # -- unsafe-region scan --------------------------------------------------------
 
@@ -216,6 +321,24 @@ class VminCampaign:
         true_vmin, droop_class = self._true_vmin(point)
         if safe_vmin_mv is None:
             safe_vmin_mv = self.measure_safe_vmin(point, mode).safe_vmin_mv
+        cache = self._cache_backend() if mode == "analytic" else None
+        key = ""
+        if cache is not None:
+            key = self._campaign_key(
+                "unsafe_scan",
+                point,
+                mode,
+                self.scan_runs,
+                start_mv=safe_vmin_mv,
+            )
+            cached = cache.get(key)
+            if cached is not None:
+                return UnsafeScanResult(
+                    point=point,
+                    safe_vmin_mv=safe_vmin_mv,
+                    crash_voltage_mv=int(cached["crash_voltage_mv"]),
+                    steps=self._decode_steps(cached["steps"]),
+                )
         steps: List[VoltageStepRecord] = []
         voltage = safe_vmin_mv
         crash_voltage = self.spec.min_voltage_mv
@@ -228,12 +351,21 @@ class VminCampaign:
                 crash_voltage = voltage
                 break
             voltage -= self.step_mv
-        return UnsafeScanResult(
+        result = UnsafeScanResult(
             point=point,
             safe_vmin_mv=safe_vmin_mv,
             crash_voltage_mv=crash_voltage,
             steps=steps,
         )
+        if cache is not None:
+            cache.put(
+                key,
+                {
+                    "crash_voltage_mv": result.crash_voltage_mv,
+                    "steps": self._encode_steps(result.steps),
+                },
+            )
+        return result
 
     # -- pfail curve -------------------------------------------------------------
 

@@ -140,6 +140,24 @@ class VminModel:
         """Model matching a live chip's spec and silicon seed."""
         return cls(chip.spec, silicon_seed=chip.silicon_seed)
 
+    def content_key(self) -> Dict[str, object]:
+        """Stable payload identifying this ground-truth instance.
+
+        Used by :mod:`repro.vmin.cache` for content-addressed campaign
+        memoization: two models with the same base tables and the same
+        per-core variation offsets are interchangeable, regardless of
+        which seed produced the offsets.
+        """
+        return {
+            "table": {
+                freq_class.value: list(row)
+                for freq_class, row in sorted(
+                    self._table.items(), key=lambda item: item[0].value
+                )
+            },
+            "offsets_mv": list(self.variation.offsets_mv),
+        }
+
     # -- base table -----------------------------------------------------------
 
     def base_vmin_mv(

@@ -1,10 +1,9 @@
 """Tests for the online monitoring daemon end to end (paper Section VI)."""
 
-import pytest
 
 from repro.core.daemon import OnlineMonitoringDaemon, SafeVminController
 from repro.platform.chip import Chip
-from repro.platform.specs import xgene2_spec, xgene3_spec
+from repro.platform.specs import xgene2_spec
 from repro.sim.process import WorkloadClass
 from repro.sim.system import ServerSystem
 from repro.workloads.generator import JobSpec, Workload

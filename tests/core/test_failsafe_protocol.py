@@ -5,14 +5,13 @@ raise-before/settle-after ordering directly, complementing the
 end-to-end daemon tests.
 """
 
-import pytest
 
 from repro.core.placement import PlacementEngine
 from repro.platform.chip import Chip
 from repro.platform.specs import xgene3_spec
 from repro.sim.process import SimProcess, WorkloadClass
 from repro.sim.system import ServerSystem
-from repro.workloads.generator import JobSpec, Workload
+from repro.workloads.generator import Workload
 from repro.workloads.suites import get_benchmark
 
 

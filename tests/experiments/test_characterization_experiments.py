@@ -10,7 +10,6 @@ from repro.experiments import (
     fig10_factors as fig10,
 )
 from repro.units import ghz
-from repro.workloads.suites import characterization_set
 
 
 @pytest.fixture(scope="module")

@@ -11,7 +11,6 @@ from repro.experiments import (
     fig12_ed2p as fig12,
 )
 from repro.experiments.energy_runner import EnergyRunner
-from repro.platform.specs import get_spec
 from repro.units import ghz
 from repro.workloads.suites import get_benchmark
 

@@ -13,7 +13,6 @@ from repro.experiments import (
     table2,
     tables34,
 )
-from repro.platform.specs import FrequencyClass
 
 DURATION = 600.0
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import ConfigurationError, SchedulingError
-from repro.platform.chip import Chip, ChipState
+from repro.platform.chip import Chip
 from repro.platform.specs import FrequencyClass
 from repro.units import ghz, MHZ
 

@@ -3,14 +3,7 @@
 import pytest
 
 from repro.errors import ConfigurationError, FrequencyRangeError
-from repro.platform.specs import (
-    ChipSpec,
-    CacheSpec,
-    FrequencyClass,
-    get_spec,
-    xgene2_spec,
-    xgene3_spec,
-)
+from repro.platform.specs import ChipSpec, CacheSpec, FrequencyClass, get_spec
 from repro.units import ghz, MHZ
 
 

@@ -3,8 +3,8 @@
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.platform.chip import Chip, ChipState
-from repro.power.model import POWER_PARAMS, PowerModel, PowerParams
+from repro.platform.chip import ChipState
+from repro.power.model import POWER_PARAMS, PowerModel
 from repro.units import ghz
 
 

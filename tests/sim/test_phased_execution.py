@@ -4,7 +4,6 @@ The paper's case (b): a process changes state between CPU- and
 memory-intensive; the daemon retunes V/F in place without migrations.
 """
 
-import pytest
 
 from repro.core.daemon import OnlineMonitoringDaemon
 from repro.platform.chip import Chip
@@ -13,7 +12,6 @@ from repro.sim.controllers import BaselineController
 from repro.sim.process import WorkloadClass
 from repro.sim.system import ServerSystem
 from repro.workloads.generator import JobSpec, Workload
-from repro.workloads.phases import make_phased
 
 
 def workload_of(*jobs):

@@ -1,0 +1,72 @@
+"""Validity checks for the GitHub Actions pipeline.
+
+``actionlint`` is not vendored, so these tests act as the workflow's
+parse check: the YAML must load, and the jobs the project relies on
+(test matrix, lint, benchmark smoke, run-all verification) must keep
+their guarantees.
+"""
+
+from pathlib import Path
+
+import pytest
+
+yaml = pytest.importorskip("yaml")
+
+WORKFLOW = Path(__file__).parent.parent / ".github" / "workflows" / "ci.yml"
+
+
+@pytest.fixture(scope="module")
+def workflow():
+    assert WORKFLOW.is_file(), "CI workflow missing"
+    return yaml.safe_load(WORKFLOW.read_text())
+
+
+def _steps_text(job):
+    return "\n".join(
+        str(step.get("run", "")) for step in job.get("steps", [])
+    )
+
+
+def test_workflow_parses_with_expected_jobs(workflow):
+    assert set(workflow["jobs"]) >= {
+        "test",
+        "lint",
+        "bench-smoke",
+        "verify",
+    }
+    # YAML 1.1 parses the bare `on:` trigger key as boolean True.
+    triggers = workflow.get("on", workflow.get(True))
+    assert "push" in triggers and "pull_request" in triggers
+
+
+def test_test_job_matrix_covers_supported_pythons(workflow):
+    matrix = workflow["jobs"]["test"]["strategy"]["matrix"]
+    assert matrix["python-version"] == ["3.10", "3.11", "3.12"]
+    assert "python -m pytest -x -q" in _steps_text(workflow["jobs"]["test"])
+
+
+def test_lint_job_runs_ruff(workflow):
+    text = _steps_text(workflow["jobs"]["lint"])
+    assert "ruff check" in text
+    assert "ruff format --check" in text
+
+
+def test_bench_smoke_job_is_timeout_guarded(workflow):
+    job = workflow["jobs"]["bench-smoke"]
+    assert job["timeout-minutes"] <= 30
+    text = _steps_text(job)
+    assert "timeout " in text
+    assert "--benchmark-disable" in text
+
+
+def test_every_job_has_a_timeout(workflow):
+    for name, job in workflow["jobs"].items():
+        assert "timeout-minutes" in job, f"job {name!r} lacks a timeout"
+
+
+def test_verify_job_checks_determinism_and_cache(workflow):
+    text = _steps_text(workflow["jobs"]["verify"])
+    assert "repro run-all --jobs 2" in text
+    assert "--cache-dir" in text
+    assert "diff tests/golden/run_all_xgene2.txt" in text
+    assert "diff run_all.txt run_all_warm.txt" in text

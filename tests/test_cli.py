@@ -3,6 +3,7 @@
 import pytest
 
 from repro.cli import COMMANDS, DEFAULT_PLATFORM, build_parser, main
+from repro.vmin.cache import reset_default_cache
 
 
 class TestParser:
@@ -64,3 +65,50 @@ class TestExecution:
                 name in DEFAULT_PLATFORM
                 or name in ("table1", "table3", "table4", "report")
             )
+
+
+class TestRunAll:
+    @pytest.fixture(autouse=True)
+    def fresh_default_cache(self):
+        reset_default_cache()
+        yield
+        reset_default_cache()
+
+    def test_parser_accepts_jobs_and_cache_dir(self, tmp_path):
+        args = build_parser().parse_args(
+            ["run-all", "--jobs", "4", "--cache-dir", str(tmp_path)]
+        )
+        assert args.experiment == "run-all"
+        assert args.jobs == 4
+        assert args.cache_dir == str(tmp_path)
+
+    def test_jobs_default_is_sequential(self):
+        assert build_parser().parse_args(["run-all"]).jobs == 1
+
+    def test_single_experiment_routes_through_orchestrator(
+        self, tmp_path, capsys
+    ):
+        assert main(["fig3", "--cache-dir", str(tmp_path)]) == 0
+        assert "safe Vmin" in capsys.readouterr().out
+        assert any(tmp_path.iterdir())
+
+    def test_run_all_splits_output_and_summary(self, monkeypatch, capsys):
+        # Shrink the registry so the batch stays cheap.
+        from repro.experiments import orchestrator, registry
+
+        subset = tuple(
+            e for e in registry.REGISTRY
+            if e.name in ("table1", "fig5", "fig6")
+        )
+        monkeypatch.setattr(registry, "REGISTRY", subset)
+        monkeypatch.setattr(orchestrator, "REGISTRY", subset)
+        monkeypatch.setattr(
+            "repro.cli.experiment_names",
+            lambda: tuple(e.name for e in subset),
+        )
+        assert main(["run-all", "--jobs", "1"]) == 0
+        captured = capsys.readouterr()
+        assert "== table1 ==" in captured.out
+        assert "orchestrator summary" in captured.err
+        assert "orchestrator summary" not in captured.out
+        assert "speedup vs serial sum" in captured.err

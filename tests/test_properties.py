@@ -2,7 +2,7 @@
 
 import math
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.allocation import Allocation, cores_for, pick_free_cores
@@ -64,7 +64,10 @@ class TestAllocationProperties:
     def test_spreaded_uses_at_least_as_many_pmds(self, nthreads):
         spread = cores_for(SPEC3, nthreads, Allocation.SPREADED)
         packed = cores_for(SPEC3, nthreads, Allocation.CLUSTERED)
-        pmds = lambda cores: len({SPEC3.pmd_of_core(c) for c in cores})
+
+        def pmds(cores):
+            return len({SPEC3.pmd_of_core(c) for c in cores})
+
         assert pmds(spread) >= pmds(packed)
 
     @given(

@@ -7,7 +7,6 @@ from repro.errors import CharacterizationError
 from repro.units import ghz
 from repro.vmin.characterize import VminCampaign
 from repro.vmin.faults import OUTCOME_PASS
-from repro.vmin.model import VminModel
 
 
 @pytest.fixture

@@ -3,11 +3,7 @@
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.vmin.variation import (
-    CoreVariationMap,
-    make_variation_map,
-    max_core_offset_mv,
-)
+from repro.vmin.variation import make_variation_map, max_core_offset_mv
 
 
 class TestPaperChip:
