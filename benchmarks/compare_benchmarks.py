@@ -1,0 +1,128 @@
+#!/usr/bin/env python
+"""Compare a pytest-benchmark run against the committed baseline.
+
+CI machines differ in absolute speed, so raw medians cannot be compared
+across hosts. Instead this script normalizes by the *median speed ratio*
+across all shared benchmarks — the typical "this host vs the baseline
+host" factor — and flags only benchmarks that regressed by more than the
+threshold relative to that factor. A uniform slowdown (slower runner)
+passes; a single bench that got 30% worse than its peers fails.
+
+Usage:
+
+    # fail CI when any bench regressed >30% vs the committed baseline
+    python benchmarks/compare_benchmarks.py compare bench.json \
+        --baseline benchmarks/baseline_medians.json
+
+    # refresh the committed baseline from a fresh full run
+    python benchmarks/compare_benchmarks.py update bench.json \
+        --baseline benchmarks/baseline_medians.json
+
+Both commands accept raw pytest-benchmark ``--benchmark-json`` output;
+``update`` strips it down to the committed ``{fullname: median}`` form.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+from pathlib import Path
+
+#: A bench fails when its median exceeds the host-normalized baseline by
+#: more than this factor.
+DEFAULT_THRESHOLD = 1.30
+
+#: Benches faster than this are dominated by timer noise; they are
+#: reported but never fail the comparison.
+MIN_RELIABLE_SECONDS = 1e-4
+
+
+def load_medians(path: Path) -> dict:
+    """Read ``{fullname: median_seconds}`` from either JSON format."""
+    data = json.loads(path.read_text())
+    if "benchmarks" in data:  # raw pytest-benchmark output
+        return {
+            bench["fullname"]: bench["stats"]["median"]
+            for bench in data["benchmarks"]
+        }
+    return {name: float(median) for name, median in data["medians"].items()}
+
+
+def update(current: dict, baseline_path: Path) -> int:
+    baseline_path.write_text(
+        json.dumps(
+            {
+                "comment": (
+                    "Committed benchmark baseline: median seconds per "
+                    "bench. Refresh with "
+                    "`python benchmarks/compare_benchmarks.py update`."
+                ),
+                "medians": dict(sorted(current.items())),
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    print(f"wrote {len(current)} baseline medians to {baseline_path}")
+    return 0
+
+
+def compare(current: dict, baseline: dict, threshold: float) -> int:
+    shared = sorted(set(current) & set(baseline))
+    if not shared:
+        print("error: no benchmarks in common with the baseline")
+        return 2
+    missing = sorted(set(baseline) - set(current))
+    ratios = {name: current[name] / baseline[name] for name in shared}
+    host_factor = statistics.median(ratios.values())
+
+    print(f"{len(shared)} shared benchmarks; host speed factor "
+          f"{host_factor:.3f}x vs baseline\n")
+    failures = []
+    for name in shared:
+        normalized = ratios[name] / host_factor
+        noisy = baseline[name] < MIN_RELIABLE_SECONDS
+        flag = " "
+        if normalized > threshold:
+            flag = "~" if noisy else "!"
+            if not noisy:
+                failures.append((name, normalized))
+        print(f"{flag} {normalized:6.2f}x  {current[name]:12.6f}s  {name}")
+    for name in missing:
+        print(f"? missing from run: {name}")
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} benchmark(s) regressed more than "
+              f"{(threshold - 1.0) * 100:.0f}% vs baseline:")
+        for name, normalized in failures:
+            print(f"  {name}: {normalized:.2f}x")
+        return 1
+    print(f"\nOK: no benchmark regressed more than "
+          f"{(threshold - 1.0) * 100:.0f}% vs baseline")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("command", choices=("compare", "update"))
+    parser.add_argument("run_json", type=Path,
+                        help="pytest-benchmark --benchmark-json output")
+    parser.add_argument("--baseline", type=Path,
+                        default=Path(__file__).parent
+                        / "baseline_medians.json")
+    parser.add_argument("--threshold", type=float,
+                        default=DEFAULT_THRESHOLD,
+                        help="failure ratio after host normalization "
+                             f"(default {DEFAULT_THRESHOLD})")
+    args = parser.parse_args(argv)
+
+    current = load_medians(args.run_json)
+    if args.command == "update":
+        return update(current, args.baseline)
+    return compare(current, load_medians(args.baseline), args.threshold)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

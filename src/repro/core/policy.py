@@ -22,6 +22,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..allocation import Allocation, cores_for
 from ..errors import ConfigurationError
+from ..kernels.vmin import safe_vmin_matrix
 from ..platform.specs import ChipSpec, FrequencyClass
 from ..vmin.cache import (
     get_default_cache,
@@ -124,19 +125,23 @@ class VminPolicyTable:
             }
             return cls(spec, entries, guard_mv=guard_mv)
         configs = cls._class_configs(spec)
+        # One batched (core set x workload delta) grid per representative
+        # frequency replaces the scalar triple loop; the per-class worst
+        # case is a slice reduction over the same values.
+        class_slices: Dict[int, Tuple[int, int]] = {}
+        all_sets: List[Tuple[int, ...]] = []
+        for droop_class in sorted(configs):
+            start = len(all_sets)
+            all_sets.extend(configs[droop_class])
+            class_slices[droop_class] = (start, len(all_sets))
+        deltas = [profile.vmin_delta_mv for profile in pool]
         entries: Dict[Tuple[FrequencyClass, int], int] = {}
         for freq_class, freq_hz in cls._freq_class_reps(spec):
+            matrix = safe_vmin_matrix(model, freq_hz, all_sets, deltas)
             floor = 0
             for droop_class in sorted(configs):
-                worst = 0.0
-                for cores in configs[droop_class]:
-                    for profile in pool:
-                        worst = max(
-                            worst,
-                            model.safe_vmin_mv(
-                                freq_hz, cores, profile.vmin_delta_mv
-                            ),
-                        )
+                lo, hi = class_slices[droop_class]
+                worst = max(0.0, float(matrix[lo:hi].max()))
                 stepped = int(-(-worst // step_mv) * step_mv)  # ceil to step
                 # Enforce monotonicity across droop classes: few-thread
                 # configurations in a mild class can measure *above* a

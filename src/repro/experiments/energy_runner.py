@@ -21,16 +21,17 @@ to the raw one (Section II.B's fairness rule).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..allocation import Allocation, cores_for
 from ..errors import ConfigurationError
+from ..kernels.power import chip_power_grid
+from ..kernels.vmin import safe_vmin_grid
 from ..perf.contention import (
     bandwidth_utilization,
     contention_factor,
 )
 from ..perf.model import bandwidth_demand_gbs, execution_state
-from ..platform.chip import ChipState
 from ..platform.specs import ChipSpec
 from ..power.energy import ed2p
 from ..power.model import PowerModel
@@ -107,7 +108,21 @@ class EnergyRunner:
         the characterization cache — the energy sweeps of Figs. 7/11/12
         revisit the same configurations many times.
         """
-        cores = cores_for(self.spec, nthreads, allocation)
+        return self.safe_voltages_mv(
+            profile, [(nthreads, allocation, freq_hz)]
+        )[0]
+
+    def safe_voltages_mv(
+        self,
+        profile: BenchmarkProfile,
+        configs: Sequence[Tuple[int, Allocation, int]],
+    ) -> List[int]:
+        """Batched :meth:`safe_voltage_mv` over (threads, alloc, freq).
+
+        Cache keys and stored values are identical to the scalar method's
+        per configuration; only the cache-missing configurations hit the
+        Vmin model, through one batched kernel evaluation.
+        """
         if self._fingerprints is None:
             self._fingerprints = (
                 spec_fingerprint(self.spec),
@@ -115,29 +130,44 @@ class EnergyRunner:
             )
         spec_fp, model_fp = self._fingerprints
         cache = self.cache if self.cache is not None else get_default_cache()
-        freq = self.spec.nearest_frequency(freq_hz)
-        key = make_key(
-            kind="safe_voltage",
-            spec=spec_fp,
-            model=model_fp,
-            freq_class=self.spec.frequency_class(freq).value,
-            cores=sorted(cores),
-            pmd_occupancy=occupancy_of(self.spec, cores),
-            workload=profile.name,
-            workload_delta_mv=profile.vmin_delta_mv,
-            seed=0,
-            step_mv=CAMPAIGN_STEP_MV,
-        )
-        cached = cache.get(key)
-        if cached is not None:
-            return int(cached)
-        true_vmin = self.vmin_model.safe_vmin_mv(
-            freq_hz, cores, profile.vmin_delta_mv
-        )
-        stepped = int(-(-true_vmin // CAMPAIGN_STEP_MV) * CAMPAIGN_STEP_MV)
-        voltage = min(stepped, self.spec.nominal_voltage_mv)
-        cache.put(key, voltage)
-        return voltage
+        results: List[Optional[int]] = [None] * len(configs)
+        pending: List[Tuple[int, str, int, Tuple[int, ...]]] = []
+        for i, (nthreads, allocation, freq_hz) in enumerate(configs):
+            cores = cores_for(self.spec, nthreads, allocation)
+            freq = self.spec.nearest_frequency(freq_hz)
+            key = make_key(
+                kind="safe_voltage",
+                spec=spec_fp,
+                model=model_fp,
+                freq_class=self.spec.frequency_class(freq).value,
+                cores=sorted(cores),
+                pmd_occupancy=occupancy_of(self.spec, cores),
+                workload=profile.name,
+                workload_delta_mv=profile.vmin_delta_mv,
+                seed=0,
+                step_mv=CAMPAIGN_STEP_MV,
+            )
+            cached = cache.get(key)
+            if cached is not None:
+                results[i] = int(cached)
+                continue
+            pending.append((i, key, freq, cores))
+        if pending:
+            true_vmins = safe_vmin_grid(
+                self.vmin_model,
+                [freq for _, _, freq, _ in pending],
+                [cores for _, _, _, cores in pending],
+                profile.vmin_delta_mv,
+            )
+            for k, (i, key, freq, cores) in enumerate(pending):
+                true_vmin = float(true_vmins[k])
+                stepped = int(
+                    -(-true_vmin // CAMPAIGN_STEP_MV) * CAMPAIGN_STEP_MV
+                )
+                voltage = min(stepped, self.spec.nominal_voltage_mv)
+                cache.put(key, voltage)
+                results[i] = voltage
+        return results
 
     def measure(
         self,
@@ -148,63 +178,105 @@ class EnergyRunner:
         voltage: str = "safe",
     ) -> RunMeasurement:
         """Measure one configuration on an otherwise idle machine."""
+        return self.measure_batch(
+            profile, [(nthreads, allocation, freq_hz)], voltage=voltage
+        )[0]
+
+    def measure_batch(
+        self,
+        profile: BenchmarkProfile,
+        configs: Sequence[Tuple[int, Allocation, Optional[int]]],
+        voltage: str = "safe",
+    ) -> List[RunMeasurement]:
+        """Measure many configurations of one benchmark in one sweep.
+
+        ``configs`` holds ``(nthreads, allocation, freq_hz)`` tuples
+        (``freq_hz=None`` means fmax). Safe voltages resolve through the
+        batched characterization lookup and all power evaluations run as
+        one :func:`~repro.kernels.power.chip_power_grid` call; every
+        measurement is bit-identical to the scalar per-point path.
+        """
         if voltage not in ("safe", "nominal"):
             raise ConfigurationError(f"unknown voltage mode {voltage!r}")
-        freq = self.spec.nearest_frequency(
-            freq_hz if freq_hz is not None else self.spec.fmax_hz
-        )
-        cores = cores_for(self.spec, nthreads, allocation)
-        pmds = sorted({self.spec.pmd_of_core(c) for c in cores})
-        # A thread shares its PMD when any PMD holds two of the job's
-        # threads (clustered runs, or spreaded runs past n_pmds threads).
-        shares = any(
-            sum(1 for c in cores if self.spec.pmd_of_core(c) == p) > 1
-            for p in pmds
-        )
-        demand = bandwidth_demand_gbs(profile, self.spec, freq)
-        demands = [demand] * nthreads
-        crowd = contention_factor(self.spec, demands)
-        exec_state = execution_state(
-            profile,
-            self.spec,
-            freq,
-            nthreads=nthreads,
-            shares_pmd=shares,
-            contention=crowd,
-        )
-        if voltage == "nominal":
-            voltage_mv = self.spec.nominal_voltage_mv
-        else:
-            voltage_mv = self.safe_voltage_mv(
-                profile, nthreads, allocation, freq
+        prepared = []
+        for nthreads, allocation, freq_hz in configs:
+            freq = self.spec.nearest_frequency(
+                freq_hz if freq_hz is not None else self.spec.fmax_hz
             )
-        # The characterization protocol sets the *chip-wide* frequency for
-        # a run (Section II.B); idle PMDs stay at the test clock and only
-        # benefit from automatic clock gating in the power model.
-        freqs = (freq,) * self.spec.n_pmds
-        state = ChipState(
-            spec=self.spec,
-            voltage_mv=voltage_mv,
-            pmd_frequencies_hz=freqs,
-            active_cores=frozenset(cores),
+            cores = cores_for(self.spec, nthreads, allocation)
+            pmds = sorted({self.spec.pmd_of_core(c) for c in cores})
+            # A thread shares its PMD when any PMD holds two of the job's
+            # threads (clustered runs, or spreaded runs past n_pmds
+            # threads).
+            shares = any(
+                sum(1 for c in cores if self.spec.pmd_of_core(c) == p) > 1
+                for p in pmds
+            )
+            demand = bandwidth_demand_gbs(profile, self.spec, freq)
+            demands = [demand] * nthreads
+            crowd = contention_factor(self.spec, demands)
+            exec_state = execution_state(
+                profile,
+                self.spec,
+                freq,
+                nthreads=nthreads,
+                shares_pmd=shares,
+                contention=crowd,
+            )
+            prepared.append(
+                (
+                    nthreads,
+                    allocation,
+                    freq,
+                    cores,
+                    exec_state,
+                    bandwidth_utilization(self.spec, demands),
+                )
+            )
+        if voltage == "nominal":
+            voltages: List[int] = [
+                self.spec.nominal_voltage_mv for _ in prepared
+            ]
+        else:
+            voltages = self.safe_voltages_mv(
+                profile,
+                [
+                    (nthreads, allocation, freq)
+                    for nthreads, allocation, freq, _, _, _ in prepared
+                ],
+            )
+        # The characterization protocol sets the *chip-wide* frequency
+        # for a run (Section II.B); idle PMDs stay at the test clock and
+        # only benefit from automatic clock gating in the power model.
+        power_grid = chip_power_grid(
+            self.power_model,
+            voltages,
+            [freq for _, _, freq, _, _, _ in prepared],
+            [state.effective_activity for _, _, _, _, state, _ in prepared],
+            [cores for _, _, _, cores, _, _ in prepared],
+            [mem for _, _, _, _, _, mem in prepared],
         )
-        activity = {c: exec_state.effective_activity for c in cores}
-        power = self.power_model.chip_power(
-            state, activity, bandwidth_utilization(self.spec, demands)
-        ).total_w
-        duration = exec_state.duration_s
-        energy = power * duration
-        normalized = energy if profile.parallel else energy / nthreads
-        return RunMeasurement(
-            benchmark=profile.name,
-            nthreads=nthreads,
-            allocation=allocation,
-            freq_hz=freq,
-            voltage_mv=voltage_mv,
-            duration_s=duration,
-            energy_j=energy,
-            normalized_energy_j=normalized,
-        )
+        measurements: List[RunMeasurement] = []
+        for i, (nthreads, allocation, freq, cores, exec_state, _) in enumerate(
+            prepared
+        ):
+            power = float(power_grid.total_w[i])
+            duration = exec_state.duration_s
+            energy = power * duration
+            normalized = energy if profile.parallel else energy / nthreads
+            measurements.append(
+                RunMeasurement(
+                    benchmark=profile.name,
+                    nthreads=nthreads,
+                    allocation=allocation,
+                    freq_hz=freq,
+                    voltage_mv=voltages[i],
+                    duration_s=duration,
+                    energy_j=energy,
+                    normalized_energy_j=normalized,
+                )
+            )
+        return measurements
 
     def thread_grid(self) -> Dict[str, int]:
         """The paper's max/half/quarter thread options (Section II.B)."""

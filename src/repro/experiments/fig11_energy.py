@@ -101,6 +101,9 @@ def run(
     threads = runner.thread_grid()
     freqs = runner.frequency_grid()
     for profile in pool:
+        # Every (threads, frequency) cell of one benchmark in one
+        # batched sweep; cell order matches the original scalar loops.
+        configs = []
         for nthreads in threads.values():
             allocation = (
                 Allocation.CLUSTERED
@@ -108,17 +111,18 @@ def run(
                 else Allocation.SPREADED
             )
             for freq_hz in freqs.values():
-                measurement = runner.measure(
-                    profile, nthreads, allocation, freq_hz, voltage=voltage
+                configs.append((nthreads, allocation, freq_hz))
+        for measurement in runner.measure_batch(
+            profile, configs, voltage=voltage
+        ):
+            result.cells.append(
+                Fig11Cell(
+                    benchmark=profile.name,
+                    nthreads=measurement.nthreads,
+                    freq_hz=measurement.freq_hz,
+                    measurement=measurement,
                 )
-                result.cells.append(
-                    Fig11Cell(
-                        benchmark=profile.name,
-                        nthreads=nthreads,
-                        freq_hz=measurement.freq_hz,
-                        measurement=measurement,
-                    )
-                )
+            )
     return result
 
 

@@ -93,6 +93,9 @@ def run(
     pool = list(benchmarks) if benchmarks else figure11_set()
     result = Fig12Result(platform=spec.name)
     for profile in pool:
+        # Every (threads, frequency) cell of one benchmark in one
+        # batched sweep; cell order matches the original scalar loops.
+        configs = []
         for nthreads in runner.thread_grid().values():
             allocation = (
                 Allocation.CLUSTERED
@@ -100,17 +103,18 @@ def run(
                 else Allocation.SPREADED
             )
             for freq_hz in runner.frequency_grid().values():
-                measurement = runner.measure(
-                    profile, nthreads, allocation, freq_hz, voltage=voltage
+                configs.append((nthreads, allocation, freq_hz))
+        for measurement in runner.measure_batch(
+            profile, configs, voltage=voltage
+        ):
+            result.cells.append(
+                Fig12Cell(
+                    benchmark=profile.name,
+                    nthreads=measurement.nthreads,
+                    freq_hz=measurement.freq_hz,
+                    measurement=measurement,
                 )
-                result.cells.append(
-                    Fig12Cell(
-                        benchmark=profile.name,
-                        nthreads=nthreads,
-                        freq_hz=measurement.freq_hz,
-                        measurement=measurement,
-                    )
-                )
+            )
     return result
 
 

@@ -110,6 +110,9 @@ def run(
     pool = list(benchmarks) if benchmarks else characterization_set()
     campaign = VminCampaign(spec, seed=silicon_seed)
     result = Fig3Result(platform=spec.name)
+    # The whole (threads x freq x benchmark) campaign runs as one batched
+    # kernel sweep; row order matches the original scalar loop.
+    points = []
     for nthreads in grid["threads"]:
         allocation = (
             Allocation.CLUSTERED
@@ -118,23 +121,27 @@ def run(
         )
         for freq_hz in grid["freqs"]:
             for profile in pool:
-                point = campaign.point(
-                    profile.name,
-                    nthreads,
-                    allocation,
-                    freq_hz,
-                    workload_delta_mv=profile.vmin_delta_mv,
-                )
-                measured = campaign.measure_safe_vmin(point, mode=mode)
-                result.rows.append(
-                    Fig3Row(
-                        benchmark=profile.name,
-                        nthreads=nthreads,
-                        freq_hz=point.freq_hz,
-                        safe_vmin_mv=measured.safe_vmin_mv,
-                        guardband_mv=measured.guardband_mv,
+                points.append(
+                    campaign.point(
+                        profile.name,
+                        nthreads,
+                        allocation,
+                        freq_hz,
+                        workload_delta_mv=profile.vmin_delta_mv,
                     )
                 )
+    for point, measured in zip(
+        points, campaign.measure_safe_vmin_batch(points, mode=mode)
+    ):
+        result.rows.append(
+            Fig3Row(
+                benchmark=point.workload,
+                nthreads=point.nthreads,
+                freq_hz=point.freq_hz,
+                safe_vmin_mv=measured.safe_vmin_mv,
+                guardband_mv=measured.guardband_mv,
+            )
+        )
     return result
 
 

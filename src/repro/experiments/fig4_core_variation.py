@@ -107,47 +107,48 @@ def run(
     pool = list(benchmarks) if benchmarks else characterization_set()
     campaign = VminCampaign(spec, seed=silicon_seed)
     result = Fig4Result(platform=spec.name, freq_hz=freq_hz)
+    # All per-core and per-PMD scans run as one batched kernel sweep;
+    # row order matches the original scalar loops.
+    points = []
+    scopes: List[tuple] = []
     for core in range(spec.n_cores):
         for profile in pool:
-            point = campaign.point(
-                profile.name,
-                1,
-                Allocation.CLUSTERED,
-                freq_hz,
-                cores=(core,),
-                workload_delta_mv=profile.vmin_delta_mv,
-            )
-            scan = campaign.scan_unsafe_region(point, mode=mode)
-            result.rows.append(
-                Fig4Row(
-                    benchmark=profile.name,
-                    scope="core",
-                    index=core,
-                    safe_vmin_mv=scan.safe_vmin_mv,
-                    crash_mv=scan.crash_voltage_mv,
+            points.append(
+                campaign.point(
+                    profile.name,
+                    1,
+                    Allocation.CLUSTERED,
+                    freq_hz,
+                    cores=(core,),
+                    workload_delta_mv=profile.vmin_delta_mv,
                 )
             )
+            scopes.append(("core", core))
     for pmd in range(spec.n_pmds):
         cores = spec.cores_of_pmd(pmd)
         for profile in pool:
-            point = campaign.point(
-                profile.name,
-                len(cores),
-                Allocation.CLUSTERED,
-                freq_hz,
-                cores=cores,
-                workload_delta_mv=profile.vmin_delta_mv,
-            )
-            scan = campaign.scan_unsafe_region(point, mode=mode)
-            result.rows.append(
-                Fig4Row(
-                    benchmark=profile.name,
-                    scope="pmd",
-                    index=pmd,
-                    safe_vmin_mv=scan.safe_vmin_mv,
-                    crash_mv=scan.crash_voltage_mv,
+            points.append(
+                campaign.point(
+                    profile.name,
+                    len(cores),
+                    Allocation.CLUSTERED,
+                    freq_hz,
+                    cores=cores,
+                    workload_delta_mv=profile.vmin_delta_mv,
                 )
             )
+            scopes.append(("pmd", pmd))
+    scans = campaign.scan_unsafe_region_batch(points, mode=mode)
+    for point, (scope, index), scan in zip(points, scopes, scans):
+        result.rows.append(
+            Fig4Row(
+                benchmark=point.workload,
+                scope=scope,
+                index=index,
+                safe_vmin_mv=scan.safe_vmin_mv,
+                crash_mv=scan.crash_voltage_mv,
+            )
+        )
     return result
 
 

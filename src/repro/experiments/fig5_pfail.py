@@ -13,10 +13,14 @@ nominal level down to complete failure. Two observations reproduce:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..allocation import Allocation
 from ..analysis.tables import format_table
+from ..kernels.faults import pfail_grid
+from ..kernels.vmin import evaluate_grid
 from ..platform.specs import get_spec
 from ..vmin.characterize import VminCampaign
 from ..workloads.profiles import BenchmarkProfile
@@ -106,21 +110,39 @@ def run(
     voltages = list(
         range(spec.nominal_voltage_mv, spec.min_voltage_mv - 1, -step_mv)
     )
+    volt_axis = np.asarray(voltages, dtype=np.int64)
     for nthreads, allocation in default_configs(spec):
-        sums: Dict[int, float] = {volt: 0.0 for volt in voltages}
-        for profile in pool:
-            point = campaign.point(
+        # One (benchmark x voltage) kernel sweep per configuration; the
+        # benchmark-axis accumulation stays sequential so the averages
+        # match the scalar per-profile summation bit for bit.
+        grid_points = [
+            campaign.point(
                 profile.name,
                 nthreads,
                 allocation,
                 freq,
                 workload_delta_mv=profile.vmin_delta_mv,
             )
-            curve = campaign.pfail_curve(point, voltages)
-            for volt, pfail in curve.items():
-                sums[volt] += pfail
+            for profile in pool
+        ]
+        grid = evaluate_grid(
+            campaign.vmin_model,
+            [p.freq_hz for p in grid_points],
+            [p.cores for p in grid_points],
+            [p.workload_delta_mv for p in grid_points],
+        )
+        pfails = pfail_grid(
+            campaign.fault_model,
+            volt_axis[None, :],
+            grid.total_mv[:, None],
+            grid.droop_class[:, None],
+        )
+        sums = np.zeros(len(voltages), dtype=np.float64)
+        for row in range(pfails.shape[0]):
+            sums = sums + pfails[row]
         points = tuple(
-            (volt, sums[volt] / len(pool)) for volt in voltages
+            (volt, float(sums[i] / len(pool)))
+            for i, volt in enumerate(voltages)
         )
         label = (
             f"{nthreads}T"

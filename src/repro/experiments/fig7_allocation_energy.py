@@ -91,11 +91,14 @@ def run(
         platform=spec.name, nthreads=nthreads, freq_hz=spec.fmax_hz
     )
     for profile in pool:
-        clustered = runner.measure(
-            profile, nthreads, Allocation.CLUSTERED, voltage="nominal"
-        )
-        spreaded = runner.measure(
-            profile, nthreads, Allocation.SPREADED, voltage="nominal"
+        # Both allocations of one benchmark in a single batched sweep.
+        clustered, spreaded = runner.measure_batch(
+            profile,
+            [
+                (nthreads, Allocation.CLUSTERED, None),
+                (nthreads, Allocation.SPREADED, None),
+            ],
+            voltage="nominal",
         )
         result.rows.append(
             Fig7Row(

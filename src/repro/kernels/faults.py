@@ -1,0 +1,186 @@
+"""Batched counterparts of the scalar fault model.
+
+Vectorizes :meth:`FaultModel.pfail` and :meth:`FaultModel.outcome_mix`
+over arbitrary (voltage, safe Vmin, droop class) grids, plus the two
+outcome-count reductions of the campaign protocol
+(:meth:`VminCampaign._run_level`):
+
+* **analytic** — expected counts with the campaign's exact rounding:
+  half-to-even per failure type, rounding residue assigned to the
+  dominant type;
+* **trials** — vectorized binomial failure draws and batched
+  multinomial type splits for Monte-Carlo mode.
+
+All analytic arithmetic mirrors the scalar operation order, so results
+are bit-for-bit identical to the scalar fault model.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..vmin.faults import (
+    FAULT_OUTCOMES,
+    OUTCOME_CRASH,
+    OUTCOME_HANG,
+    OUTCOME_SDC,
+    OUTCOME_TIMEOUT,
+    FaultModel,
+)
+
+#: Failure-type order of the batched mix arrays. This is the iteration
+#: order of the scalar ``outcome_mix`` dict, which matters: the analytic
+#: rounding residue goes to the *first* maximal type in this order.
+MIX_ORDER = (OUTCOME_CRASH, OUTCOME_SDC, OUTCOME_HANG, OUTCOME_TIMEOUT)
+
+#: MIX_ORDER column of each FAULT_OUTCOMES tag, and vice versa (used to
+#: translate trials-mode multinomial draws between the two orders).
+_MIX_COL_OF_FAULT = tuple(MIX_ORDER.index(tag) for tag in FAULT_OUTCOMES)
+_FAULT_COL_OF_MIX = tuple(FAULT_OUTCOMES.index(tag) for tag in MIX_ORDER)
+
+
+def width_mv_grid(
+    fault_model: FaultModel, droop_class: np.ndarray
+) -> np.ndarray:
+    """Batched :meth:`FaultModel.width_mv`: unsafe-region width per class."""
+    return np.maximum(
+        fault_model.MIN_WIDTH_MV,
+        fault_model.MAX_WIDTH_MV
+        - fault_model.WIDTH_STEP_MV * np.asarray(droop_class),
+    )
+
+
+def pfail_grid(
+    fault_model: FaultModel,
+    voltage_mv: np.ndarray,
+    safe_vmin_mv: np.ndarray,
+    droop_class: np.ndarray,
+) -> np.ndarray:
+    """Batched :meth:`FaultModel.pfail` over broadcastable arrays.
+
+    Zero at and above the safe Vmin, one at and below the crash point,
+    the smoothstep of Fig. 5 in between — evaluated with the scalar
+    expression order, so every element equals the scalar ``pfail``.
+    """
+    depth = np.asarray(safe_vmin_mv, dtype=np.float64) - np.asarray(
+        voltage_mv
+    )
+    x = depth / width_mv_grid(fault_model, droop_class)
+    smooth = x * x * (3.0 - 2.0 * x)
+    return np.where(x <= 0.0, 0.0, np.where(x >= 1.0, 1.0, smooth))
+
+
+def _depth_fraction(
+    fault_model: FaultModel,
+    voltage_mv: np.ndarray,
+    safe_vmin_mv: np.ndarray,
+    droop_class: np.ndarray,
+) -> np.ndarray:
+    depth = np.asarray(safe_vmin_mv, dtype=np.float64) - np.asarray(
+        voltage_mv
+    )
+    width = width_mv_grid(fault_model, droop_class)
+    return np.minimum(1.0, np.maximum(0.0, depth / width))
+
+
+def outcome_mix_grid(
+    fault_model: FaultModel,
+    voltage_mv: np.ndarray,
+    safe_vmin_mv: np.ndarray,
+    droop_class: np.ndarray,
+) -> np.ndarray:
+    """Batched :meth:`FaultModel.outcome_mix`.
+
+    Returns an array with one trailing axis of length 4 holding the
+    conditional failure-type distribution in :data:`MIX_ORDER`.
+    """
+    x = _depth_fraction(fault_model, voltage_mv, safe_vmin_mv, droop_class)
+    crash = 0.15 + 0.65 * x
+    sdc = np.maximum(0.05, 0.55 - 0.40 * x)
+    hang = 0.12 * (1.0 - 0.5 * x)
+    timeout = np.maximum(0.0, 1.0 - crash - sdc - hang)
+    total = crash + sdc + hang + timeout
+    return np.stack(
+        [crash / total, sdc / total, hang / total, timeout / total],
+        axis=-1,
+    )
+
+
+def analytic_failure_counts(pfail: np.ndarray, runs: int) -> np.ndarray:
+    """Batched expected failure counts with the campaign's rounding.
+
+    ``failures = round(pfail * runs)`` (half to even), forced to at
+    least one whenever ``pfail > 0`` — the failure-count half of the
+    analytic branch of ``VminCampaign._run_level``.
+    """
+    pfail = np.asarray(pfail, dtype=np.float64)
+    failures = np.rint(pfail * runs).astype(np.int64)
+    return np.where(pfail > 0.0, np.maximum(failures, 1), failures)
+
+
+def analytic_outcome_counts(
+    pfail: np.ndarray, mix: np.ndarray, runs: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Expected (failures, per-type split) with the campaign's rounding.
+
+    Mirrors the analytic branch of ``VminCampaign._run_level`` exactly:
+    failures via :func:`analytic_failure_counts`; the per-type split
+    rounds each share half-to-even and assigns the integer residue to
+    the dominant (first maximal, in :data:`MIX_ORDER`) failure type.
+
+    ``pfail`` has any shape; ``mix`` must append one axis of length 4 in
+    :data:`MIX_ORDER`. Returns ``failures`` (same shape as ``pfail``,
+    int64) and ``split`` (shape of ``mix``, int64).
+    """
+    failures = analytic_failure_counts(pfail, runs)
+    split = np.rint(failures[..., None] * mix).astype(np.int64)
+    residue = failures - split.sum(axis=-1)
+    dominant = np.argmax(mix, axis=-1)
+    np.put_along_axis(
+        split,
+        dominant[..., None],
+        np.take_along_axis(split, dominant[..., None], axis=-1)
+        + residue[..., None],
+        axis=-1,
+    )
+    return failures, split
+
+
+def multinomial_split(
+    rng: np.random.Generator, failures: np.ndarray, mix: np.ndarray
+) -> np.ndarray:
+    """Batched multinomial split of failure counts into failure types.
+
+    ``mix`` appends one :data:`MIX_ORDER` axis to the shape of
+    ``failures``. Draws in ``FAULT_OUTCOMES`` order like the scalar
+    trials branch, then reorders the columns back to :data:`MIX_ORDER`.
+    """
+    pvals = np.take(
+        np.asarray(mix, dtype=np.float64), _MIX_COL_OF_FAULT, axis=-1
+    )
+    draws = rng.multinomial(np.asarray(failures), pvals)
+    return np.take(draws, _FAULT_COL_OF_MIX, axis=-1).astype(np.int64)
+
+
+def sample_outcome_counts(
+    rng: np.random.Generator,
+    pfail: np.ndarray,
+    mix: np.ndarray,
+    runs: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Monte-Carlo (failures, per-type split) with vectorized draws.
+
+    One binomial draw per grid point and one batched multinomial split
+    across the whole grid, instead of one Python-level RNG call per
+    voltage level. The draws are deterministic for a given generator
+    state but do **not** reproduce the scalar trials-mode stream, which
+    interleaves draws level by level.
+
+    Returns ``failures`` (shape of ``pfail``) and ``split`` (shape of
+    ``mix``, :data:`MIX_ORDER` columns), both int64.
+    """
+    pfail = np.asarray(pfail, dtype=np.float64)
+    failures = rng.binomial(runs, pfail).astype(np.int64)
+    return failures, multinomial_split(rng, failures, mix)

@@ -1,0 +1,161 @@
+"""Batched counterpart of the scalar chip power model.
+
+Vectorizes :meth:`PowerModel.chip_power` for the configuration shape the
+energy grids (Figs. 7/11/12) sweep: one uniform chip clock per
+configuration, one shared effective activity for the configuration's
+active cores, idle cores at their (possibly clock-gated) floor.
+
+**Bit-exactness note.** NumPy's ``**`` does not reproduce CPython's
+``float.__pow__`` bitwise (``arr ** 2`` lowers to ``arr * arr`` while the
+scalar model goes through libm ``pow``), so the two voltage powers
+(``vr ** 2`` and ``vr ** leak_exponent``) are evaluated with Python
+floats per *unique* voltage and scattered back over the grid. Campaign
+grids only visit a handful of distinct voltages, so this costs nothing
+and keeps every total identical to the scalar model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Union
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..power.model import PowerModel
+
+#: One active-core set: any iterable of core ids.
+CoreSet = Iterable[int]
+
+
+@dataclass(frozen=True)
+class PowerGrid:
+    """One batched power evaluation split into its physical parts (W).
+
+    Array fields line up with the scalar
+    :class:`~repro.power.model.PowerBreakdown` attributes, one element
+    per configuration; ``total_w`` is precomputed with the scalar
+    summation order.
+    """
+
+    dynamic_w: np.ndarray
+    leakage_w: np.ndarray
+    pmd_overhead_w: np.ndarray
+    uncore_w: np.ndarray
+    external_w: np.ndarray
+    total_w: np.ndarray
+
+    def __len__(self) -> int:
+        return self.total_w.shape[0]
+
+
+def _scalar_pow_by_unique(values: np.ndarray, exponent: float) -> np.ndarray:
+    """``values ** exponent`` via CPython ``float.__pow__`` per unique value.
+
+    Keeps the batched voltage powers bit-identical to the scalar model
+    (see module docstring).
+    """
+    unique, inverse = np.unique(values, return_inverse=True)
+    powered = np.array(
+        [float(v) ** exponent for v in unique], dtype=np.float64
+    )
+    return powered[inverse]
+
+
+def _as_array(value, n: int, name: str) -> np.ndarray:
+    arr = np.asarray(value, dtype=np.float64)
+    if arr.ndim == 0:
+        return np.full(n, float(arr))
+    if arr.shape != (n,):
+        raise ValueError(f"{name}: expected shape ({n},), got {arr.shape}")
+    return arr
+
+
+def chip_power_grid(
+    power_model: PowerModel,
+    voltage_mv: Union[float, Sequence[float]],
+    freq_hz: Union[float, Sequence[float]],
+    activity: Union[float, Sequence[float]],
+    active_core_sets: Sequence[CoreSet],
+    memory_utilization: Union[float, Sequence[float]] = 0.0,
+    leakage_multiplier: Union[float, Sequence[float]] = 1.0,
+) -> PowerGrid:
+    """Batched :meth:`PowerModel.chip_power` over N configurations.
+
+    Configuration ``i`` runs the chip at ``voltage_mv[i]`` with every PMD
+    clocked at ``freq_hz[i]``, the cores of ``active_core_sets[i]`` busy
+    at effective activity ``activity[i]``, and memory-system utilization
+    ``memory_utilization[i]`` — exactly the shape
+    :meth:`EnergyRunner.measure` evaluates. Scalars broadcast to all N.
+    Totals are bit-for-bit identical to the scalar evaluation.
+    """
+    n = len(active_core_sets)
+    spec = power_model.spec
+    params = power_model.params
+    voltage = _as_array(voltage_mv, n, "voltage_mv")
+    freq = _as_array(freq_hz, n, "freq_hz")
+    act = _as_array(activity, n, "activity")
+    mem = _as_array(memory_utilization, n, "memory_utilization")
+    mult = _as_array(leakage_multiplier, n, "leakage_multiplier")
+    if np.any(voltage <= 0):
+        raise ConfigurationError("voltage must be positive")
+    if np.any(act < 0):
+        raise ConfigurationError("activity must be non-negative")
+    if np.any((mem < 0.0) | (mem > 1.0)):
+        raise ConfigurationError("memory_utilization must be in [0, 1]")
+    if np.any(mult <= 0):
+        raise ConfigurationError("leakage multiplier must be positive")
+
+    core_active = np.zeros((n, spec.n_cores), dtype=bool)
+    pmd_active = np.zeros((n, spec.n_pmds), dtype=bool)
+    for i, cores in enumerate(active_core_sets):
+        for core in cores:
+            core_active[i, int(core)] = True
+            pmd_active[i, spec.pmd_of_core(int(core))] = True
+
+    vr = voltage / spec.nominal_voltage_mv
+    vr2 = _scalar_pow_by_unique(vr, 2)
+    fr = freq / spec.fmax_hz
+
+    # Dynamic power, accumulated core by core in the scalar order
+    # (np.sum's pairwise reduction would round differently).
+    base_dyn = params.core_dyn_max_w * vr2 * fr
+    idle = params.idle_activity
+    gated_idle = idle * params.gate_factor
+    dynamic = np.zeros(n, dtype=np.float64)
+    for core in range(spec.n_cores):
+        pmd = spec.pmd_of_core(core)
+        core_act = np.where(
+            core_active[:, core],
+            act,
+            np.where(pmd_active[:, pmd], idle, gated_idle),
+        )
+        dynamic = dynamic + base_dyn * core_act
+
+    core_leak = params.core_leak_w * _scalar_pow_by_unique(
+        vr, params.leak_exponent
+    )
+    leakage = spec.n_cores * core_leak * mult
+
+    base_pmd = params.pmd_overhead_w * vr2 * fr
+    pmd_overhead = np.zeros(n, dtype=np.float64)
+    for pmd in range(spec.n_pmds):
+        scale = np.where(pmd_active[:, pmd], 1.0, params.gate_factor)
+        pmd_overhead = pmd_overhead + base_pmd * scale
+
+    share = params.uncore_dynamic_share
+    level = (1.0 - share) + share * mem
+    if params.uncore_on_rail:
+        level = level * vr2
+    uncore = params.uncore_w * level
+
+    external = np.full(n, params.external_w, dtype=np.float64)
+    total = dynamic + leakage + pmd_overhead + uncore + external
+    return PowerGrid(
+        dynamic_w=dynamic,
+        leakage_w=leakage,
+        pmd_overhead_w=pmd_overhead,
+        uncore_w=uncore,
+        external_w=external,
+        total_w=total,
+    )

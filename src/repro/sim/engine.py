@@ -17,7 +17,7 @@ from typing import Any, Optional
 from ..errors import SimulationError
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, slots=True)
 class Event:
     """One scheduled event; ordering is (time, insertion sequence)."""
 
@@ -76,6 +76,27 @@ class EventQueue:
         while self._heap and self._heap[0].seq in self._cancelled:
             self._cancelled.discard(self._heap[0].seq)
             heapq.heappop(self._heap)
+        if not self._pending:
+            # Every remaining heap entry is a cancelled corpse. Without
+            # this, a queue drained by `while queue:` loops (which stop
+            # on len(_pending) == 0) accumulates stale seqs forever.
+            if self._heap:
+                self._heap.clear()
+            if self._cancelled:
+                self._cancelled.clear()
+        elif len(self._cancelled) > 64 and (
+            len(self._cancelled) * 2 > len(self._heap)
+        ):
+            # Cancelled events buried under live ones can never drain
+            # through the lazy top-of-heap check; compact once corpses
+            # dominate so the sets stay bounded by the live event count.
+            self._heap = [
+                event
+                for event in self._heap
+                if event.seq not in self._cancelled
+            ]
+            heapq.heapify(self._heap)
+            self._cancelled.clear()
 
 
 class SimClock:

@@ -48,7 +48,7 @@ class ProcessCounters:
         self.l3_accesses += l3_accesses
 
 
-@dataclass(eq=False)
+@dataclass(eq=False, slots=True)
 class SimProcess:
     """One job instance inside the simulation.
 

@@ -41,10 +41,12 @@ import json
 import os
 import tempfile
 import threading
+import weakref
 from collections import OrderedDict
 from dataclasses import asdict, dataclass, replace
+from functools import lru_cache
 from pathlib import Path
-from typing import Any, Dict, Iterable, Optional, Union
+from typing import Any, Callable, Dict, Iterable, Optional, Union
 
 from ..errors import ConfigurationError
 
@@ -63,17 +65,52 @@ def _digest(payload: Any) -> str:
     return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
 
 
+@lru_cache(maxsize=64)
 def spec_fingerprint(spec: ChipSpec) -> str:
     """Stable fingerprint over *every* field of a platform spec.
 
     Any change to the platform model — core count, frequency range,
     nominal voltage, cache geometry, memory bandwidth — yields a new
     fingerprint and therefore invalidates every cached campaign of the
-    old spec.
+    old spec. Specs are frozen dataclasses, so the digest is memoized
+    per instance value (it shows up on every cache lookup otherwise).
     """
     return _digest(asdict(spec))[:16]
 
 
+def _identity_memo(
+    compute: Callable[[Any], str]
+) -> Callable[[Any], str]:
+    """Memoize a fingerprint per *model instance* (weakly referenced).
+
+    Model objects are mutable and unhashable by value, but a
+    fingerprint is stable for the lifetime of an instance: anything that
+    would change it (tables, offsets, spec) is fixed at construction.
+    Instances that cannot be weakly referenced are recomputed each call.
+    """
+    memo: "weakref.WeakKeyDictionary[Any, str]" = (
+        weakref.WeakKeyDictionary()
+    )
+
+    def lookup(model: Any) -> str:
+        try:
+            cached = memo.get(model)
+        except TypeError:
+            return compute(model)
+        if cached is None:
+            cached = compute(model)
+            try:
+                memo[model] = cached
+            except TypeError:
+                pass
+        return cached
+
+    lookup.__name__ = compute.__name__
+    lookup.__doc__ = compute.__doc__
+    return lookup
+
+
+@_identity_memo
 def model_fingerprint(vmin_model: Any) -> str:
     """Fingerprint of a ground-truth :class:`~repro.vmin.model.VminModel`.
 
@@ -85,6 +122,7 @@ def model_fingerprint(vmin_model: Any) -> str:
     return _digest(payload)[:16]
 
 
+@_identity_memo
 def fault_fingerprint(fault_model: Any) -> str:
     """Fingerprint of a fault model's unsafe-region parameters."""
     return _digest(
@@ -169,6 +207,15 @@ class VminCache:
                     f"cache dir {str(self.cache_dir)!r} exists and is "
                     "not a directory"
                 ) from None
+
+    @property
+    def disabled(self) -> bool:
+        """True when no tier can store anything (the opt-out config).
+
+        Callers may use this to skip key derivation entirely: every
+        lookup would miss and every store would be dropped anyway.
+        """
+        return self.capacity == 0 and self.cache_dir is None
 
     def __len__(self) -> int:
         return len(self._entries)

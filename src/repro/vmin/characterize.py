@@ -26,6 +26,15 @@ import numpy as np
 
 from ..allocation import Allocation, cores_for
 from ..errors import CharacterizationError
+from ..kernels.faults import (
+    MIX_ORDER,
+    analytic_failure_counts,
+    analytic_outcome_counts,
+    multinomial_split,
+    outcome_mix_grid,
+    pfail_grid,
+)
+from ..kernels.vmin import evaluate_grid
 from ..platform.specs import ChipSpec
 from .cache import (
     VminCache,
@@ -61,7 +70,7 @@ class CharacterizationPoint:
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class VoltageStepRecord:
     """Outcome statistics of one voltage level during a campaign."""
 
@@ -123,6 +132,7 @@ class VminCampaign:
         scan_runs: int = 60,
         seed: int = 0,
         cache: Optional[VminCache] = None,
+        use_kernels: bool = True,
     ):
         if step_mv <= 0:
             raise CharacterizationError("step_mv must be positive")
@@ -138,6 +148,12 @@ class VminCampaign:
         #: Explicit cache, or ``None`` to use the process default; pass
         #: ``VminCache(capacity=0)`` to opt out of memoization.
         self.cache = cache
+        #: Route analytic campaigns through the batched
+        #: :mod:`repro.kernels` sweeps (bit-identical results); the
+        #: scalar reference path remains available with ``False``.
+        #: Trials mode always uses the scalar path for single-point
+        #: calls, preserving its sequential RNG stream.
+        self.use_kernels = use_kernels
         self._rng = np.random.default_rng(seed)
         self._fingerprints: Optional[Tuple[str, str, str]] = None
 
@@ -180,8 +196,12 @@ class VminCampaign:
 
     # -- memoization -------------------------------------------------------------
 
-    def _cache_backend(self) -> VminCache:
-        return self.cache if self.cache is not None else get_default_cache()
+    def _cache_backend(self) -> Optional[VminCache]:
+        cache = self.cache if self.cache is not None else get_default_cache()
+        # An opt-out cache (capacity 0, no disk tier) cannot store or
+        # serve anything; returning None lets campaigns skip key
+        # derivation and payload encoding altogether.
+        return None if cache.disabled else cache
 
     def _campaign_key(
         self,
@@ -258,6 +278,18 @@ class VminCampaign:
         """
         if mode not in ("analytic", "trials"):
             raise CharacterizationError(f"unknown mode {mode!r}")
+        if self.use_kernels and mode == "analytic":
+            return self.measure_safe_vmin_batch([point], mode)[0]
+        return self._measure_safe_vmin_scalar(point, mode)
+
+    def _measure_safe_vmin_scalar(
+        self,
+        point: CharacterizationPoint,
+        mode: str = "analytic",
+    ) -> SafeVminResult:
+        """Scalar reference implementation of :meth:`measure_safe_vmin`."""
+        if mode not in ("analytic", "trials"):
+            raise CharacterizationError(f"unknown mode {mode!r}")
         # Trials mode consumes RNG state, so replaying it from a cache
         # would change subsequent draws; only analytic sweeps memoize.
         cache = self._cache_backend() if mode == "analytic" else None
@@ -305,6 +337,173 @@ class VminCampaign:
             )
         return result
 
+    def measure_safe_vmin_batch(
+        self,
+        points: Sequence[CharacterizationPoint],
+        mode: str = "analytic",
+    ) -> List[SafeVminResult]:
+        """Batched :meth:`measure_safe_vmin` over many configurations.
+
+        Sweeps the full voltage axis of every cache-missing point in one
+        :mod:`repro.kernels` evaluation instead of one Python call per
+        voltage level. Analytic results — including every recorded step
+        and the cache payloads — are bit-identical to the scalar search;
+        ``trials`` mode uses vectorized draws, which are deterministic
+        for the campaign seed but follow a different RNG stream than the
+        scalar level-by-level search.
+        """
+        if mode not in ("analytic", "trials"):
+            raise CharacterizationError(f"unknown mode {mode!r}")
+        points = list(points)
+        results: List[Optional[SafeVminResult]] = [None] * len(points)
+        cache = self._cache_backend() if mode == "analytic" else None
+        keys: List[str] = [""] * len(points)
+        pending: List[int] = []
+        for i, point in enumerate(points):
+            if cache is not None:
+                keys[i] = self._campaign_key(
+                    "safe_vmin", point, mode, self.pass_runs
+                )
+                cached = cache.get(keys[i])
+                if cached is not None:
+                    results[i] = SafeVminResult(
+                        point=point,
+                        safe_vmin_mv=int(cached["safe_vmin_mv"]),
+                        true_vmin_mv=float(cached["true_vmin_mv"]),
+                        steps=self._decode_steps(cached["steps"]),
+                        runs_per_step=int(cached["runs_per_step"]),
+                    )
+                    continue
+            pending.append(i)
+        if not pending:
+            return results
+        grid = evaluate_grid(
+            self.vmin_model,
+            [points[i].freq_hz for i in pending],
+            [points[i].cores for i in pending],
+            [points[i].workload_delta_mv for i in pending],
+        )
+        voltages = np.arange(
+            self.spec.nominal_voltage_mv,
+            self.spec.min_voltage_mv - 1,
+            -self.step_mv,
+            dtype=np.int64,
+        )
+        runs = self.pass_runs
+        if voltages.size == 0:
+            for g, i in enumerate(pending):
+                results[i] = SafeVminResult(
+                    point=points[i],
+                    safe_vmin_mv=self.spec.nominal_voltage_mv,
+                    true_vmin_mv=float(grid.total_mv[g]),
+                    steps=[],
+                    runs_per_step=runs,
+                )
+            return results
+        pf = pfail_grid(
+            self.fault_model,
+            voltages[None, :],
+            grid.total_mv[:, None],
+            grid.droop_class[:, None],
+        )
+        if mode == "analytic":
+            # Analytic failures are >= 1 exactly where pfail > 0.
+            failing = pf > 0.0
+            failures_mat = None
+        else:
+            failures_mat = self._rng.binomial(runs, pf).astype(np.int64)
+            failing = failures_mat > 0
+        has_fail = failing.any(axis=1)
+        first_fail = np.argmax(failing, axis=1)
+        # Outcome split of the one failing level per failing point.
+        fail_rows = np.nonzero(has_fail)[0]
+        fail_cols = first_fail[fail_rows]
+        fail_mix = outcome_mix_grid(
+            self.fault_model,
+            voltages[fail_cols],
+            grid.total_mv[fail_rows],
+            grid.droop_class[fail_rows],
+        )
+        if mode == "analytic":
+            fail_counts, fail_splits = analytic_outcome_counts(
+                pf[fail_rows, fail_cols], fail_mix, runs
+            )
+        else:
+            fail_counts = failures_mat[fail_rows, fail_cols]
+            fail_splits = multinomial_split(self._rng, fail_counts, fail_mix)
+        fail_pos = {int(row): k for k, row in enumerate(fail_rows)}
+        split_tags = MIX_ORDER if mode == "analytic" else FAULT_OUTCOMES
+        split_cols = [MIX_ORDER.index(tag) for tag in split_tags]
+        # Bulk-convert the grids once; per-element numpy indexing in the
+        # record loop would dominate the whole batch otherwise. Records
+        # are built with positional args (voltage_mv, runs, pfail,
+        # outcomes) — the loop is the campaign's hottest path.
+        volt_list = voltages.tolist()
+        has_fail_list = has_fail.tolist()
+        first_fail_list = first_fail.tolist()
+        fail_counts_list = fail_counts.tolist()
+        fail_splits_list = fail_splits.tolist()
+        fail_pfails = pf[fail_rows, fail_cols].tolist()
+        true_vmins = grid.total_mv.tolist()
+        # Analytic levels are safe exactly when pfail == 0, so only the
+        # failing level's pfail is ever nonzero; trials mode records the
+        # true pfail of every level it visits.
+        pf_rows = pf.tolist() if mode == "trials" else None
+        nominal = self.spec.nominal_voltage_mv
+        for g, i in enumerate(pending):
+            point = points[i]
+            if has_fail_list[g]:
+                last = first_fail_list[g]
+                safe = volt_list[last - 1] if last >= 1 else nominal
+                n_steps = last + 1
+            else:
+                last = -1
+                safe = volt_list[-1]
+                n_steps = len(volt_list)
+            if pf_rows is None:
+                steps: List[VoltageStepRecord] = [
+                    VoltageStepRecord(v, runs, 0.0, {OUTCOME_PASS: runs})
+                    for v in volt_list[:n_steps]
+                ]
+            else:
+                pf_row = pf_rows[g]
+                steps = [
+                    VoltageStepRecord(
+                        volt_list[j], runs, pf_row[j], {OUTCOME_PASS: runs}
+                    )
+                    for j in range(n_steps)
+                ]
+            if last >= 0:
+                k = fail_pos[g]
+                f = fail_counts_list[k]
+                split_row = fail_splits_list[k]
+                record = steps[last]
+                if pf_rows is None:
+                    record.pfail = fail_pfails[k]
+                outcomes = record.outcomes
+                outcomes[OUTCOME_PASS] = runs - f
+                for tag, col in zip(split_tags, split_cols):
+                    outcomes[tag] = split_row[col]
+            result = SafeVminResult(
+                point=point,
+                safe_vmin_mv=safe,
+                true_vmin_mv=true_vmins[g],
+                steps=steps,
+                runs_per_step=runs,
+            )
+            results[i] = result
+            if cache is not None:
+                cache.put(
+                    keys[i],
+                    {
+                        "safe_vmin_mv": result.safe_vmin_mv,
+                        "true_vmin_mv": result.true_vmin_mv,
+                        "runs_per_step": result.runs_per_step,
+                        "steps": self._encode_steps(result.steps),
+                    },
+                )
+        return results
+
     # -- unsafe-region scan --------------------------------------------------------
 
     def scan_unsafe_region(
@@ -318,6 +517,21 @@ class VminCampaign:
         Continues until a level where every run fails (the system crash
         point) or the regulator floor.
         """
+        if self.use_kernels and mode == "analytic":
+            return self.scan_unsafe_region_batch(
+                [point],
+                mode,
+                None if safe_vmin_mv is None else [safe_vmin_mv],
+            )[0]
+        return self._scan_unsafe_region_scalar(point, mode, safe_vmin_mv)
+
+    def _scan_unsafe_region_scalar(
+        self,
+        point: CharacterizationPoint,
+        mode: str = "analytic",
+        safe_vmin_mv: Optional[int] = None,
+    ) -> UnsafeScanResult:
+        """Scalar reference implementation of :meth:`scan_unsafe_region`."""
         true_vmin, droop_class = self._true_vmin(point)
         if safe_vmin_mv is None:
             safe_vmin_mv = self.measure_safe_vmin(point, mode).safe_vmin_mv
@@ -367,6 +581,193 @@ class VminCampaign:
             )
         return result
 
+    def scan_unsafe_region_batch(
+        self,
+        points: Sequence[CharacterizationPoint],
+        mode: str = "analytic",
+        safe_vmins_mv: Optional[Sequence[int]] = None,
+    ) -> List[UnsafeScanResult]:
+        """Batched :meth:`scan_unsafe_region` over many configurations.
+
+        Evaluates every cache-missing point's sub-safe voltage levels in
+        one kernel sweep. Analytic results and cache payloads are
+        bit-identical to the scalar scan; ``trials`` mode uses vectorized
+        draws (different RNG stream than the scalar scan, still
+        deterministic for the campaign seed).
+        """
+        if mode not in ("analytic", "trials"):
+            raise CharacterizationError(f"unknown mode {mode!r}")
+        points = list(points)
+        if safe_vmins_mv is None:
+            safes_all = [
+                r.safe_vmin_mv
+                for r in self.measure_safe_vmin_batch(points, mode)
+            ]
+        else:
+            safes_all = [int(v) for v in safe_vmins_mv]
+            if len(safes_all) != len(points):
+                raise CharacterizationError(
+                    "safe_vmins_mv must match points one to one"
+                )
+        results: List[Optional[UnsafeScanResult]] = [None] * len(points)
+        cache = self._cache_backend() if mode == "analytic" else None
+        keys: List[str] = [""] * len(points)
+        pending: List[int] = []
+        for i, point in enumerate(points):
+            if cache is not None:
+                keys[i] = self._campaign_key(
+                    "unsafe_scan",
+                    point,
+                    mode,
+                    self.scan_runs,
+                    start_mv=safes_all[i],
+                )
+                cached = cache.get(keys[i])
+                if cached is not None:
+                    results[i] = UnsafeScanResult(
+                        point=point,
+                        safe_vmin_mv=safes_all[i],
+                        crash_voltage_mv=int(cached["crash_voltage_mv"]),
+                        steps=self._decode_steps(cached["steps"]),
+                    )
+                    continue
+            pending.append(i)
+        if not pending:
+            return results
+        grid = evaluate_grid(
+            self.vmin_model,
+            [points[i].freq_hz for i in pending],
+            [points[i].cores for i in pending],
+            [points[i].workload_delta_mv for i in pending],
+        )
+        runs = self.scan_runs
+        min_v = self.spec.min_voltage_mv
+        safes = np.asarray([safes_all[i] for i in pending], dtype=np.int64)
+        max_levels = int(max(0, (int(safes.max()) - min_v) // self.step_mv + 1))
+        if max_levels == 0:
+            for g, i in enumerate(pending):
+                results[i] = self._store_scan(
+                    cache,
+                    keys[i],
+                    UnsafeScanResult(
+                        point=points[i],
+                        safe_vmin_mv=safes_all[i],
+                        crash_voltage_mv=min_v,
+                        steps=[],
+                    ),
+                )
+            return results
+        # Row g sweeps its own axis: safe, safe - step, ... >= min voltage.
+        vmat = safes[:, None] - self.step_mv * np.arange(
+            max_levels, dtype=np.int64
+        )
+        valid = vmat >= min_v
+        pf = pfail_grid(
+            self.fault_model,
+            vmat,
+            grid.total_mv[:, None],
+            grid.droop_class[:, None],
+        )
+        if mode == "analytic":
+            failures = analytic_failure_counts(pf, runs)
+            splits = None
+        else:
+            mix = outcome_mix_grid(
+                self.fault_model,
+                vmat,
+                grid.total_mv[:, None],
+                grid.droop_class[:, None],
+            )
+            failures = self._rng.binomial(runs, pf).astype(np.int64)
+            splits = multinomial_split(self._rng, failures, mix)
+        crash_mask = ((pf >= 1.0) | (failures == runs)) & valid
+        has_crash = crash_mask.any(axis=1)
+        first_crash = np.argmax(crash_mask, axis=1)
+        n_valid = valid.sum(axis=1)
+        split_tags = MIX_ORDER if mode == "analytic" else FAULT_OUTCOMES
+        split_cols = [MIX_ORDER.index(tag) for tag in split_tags]
+        has_crash_list = has_crash.tolist()
+        first_crash_list = first_crash.tolist()
+        n_valid_list = n_valid.tolist()
+        # Only the levels a row actually records get converted (and, in
+        # analytic mode, get their outcome split computed at all): every
+        # row stops at its crash level (or its last valid one).
+        max_used = 0
+        for g in range(len(pending)):
+            if has_crash_list[g]:
+                max_used = max(max_used, first_crash_list[g] + 1)
+            else:
+                max_used = max(max_used, n_valid_list[g])
+        vmat_used = vmat[:, :max_used]
+        pf_used = pf[:, :max_used]
+        if splits is None:
+            mix_used = outcome_mix_grid(
+                self.fault_model,
+                vmat_used,
+                grid.total_mv[:, None],
+                grid.droop_class[:, None],
+            )
+            _, splits_used = analytic_outcome_counts(
+                pf_used, mix_used, runs
+            )
+        else:
+            splits_used = splits[:, :max_used]
+        vmat_rows = vmat_used.tolist()
+        pf_rows = pf_used.tolist()
+        failure_rows = failures[:, :max_used].tolist()
+        split_rows = splits_used.tolist()
+        for g, i in enumerate(pending):
+            if has_crash_list[g]:
+                n_steps = first_crash_list[g] + 1
+                crash_voltage = vmat_rows[g][n_steps - 1]
+            else:
+                n_steps = n_valid_list[g]
+                crash_voltage = min_v
+            volt_row = vmat_rows[g]
+            pf_row = pf_rows[g]
+            fail_row = failure_rows[g]
+            split_row = split_rows[g]
+            # Positional args: (voltage_mv, runs, pfail, outcomes).
+            steps: List[VoltageStepRecord] = []
+            for j in range(n_steps):
+                f = fail_row[j]
+                outcomes: Dict[str, int] = {OUTCOME_PASS: runs}
+                if f:
+                    outcomes[OUTCOME_PASS] = runs - f
+                    srow = split_row[j]
+                    for tag, col in zip(split_tags, split_cols):
+                        outcomes[tag] = srow[col]
+                steps.append(
+                    VoltageStepRecord(volt_row[j], runs, pf_row[j], outcomes)
+                )
+            results[i] = self._store_scan(
+                cache,
+                keys[i],
+                UnsafeScanResult(
+                    point=points[i],
+                    safe_vmin_mv=safes_all[i],
+                    crash_voltage_mv=crash_voltage,
+                    steps=steps,
+                ),
+            )
+        return results
+
+    def _store_scan(
+        self,
+        cache: Optional[VminCache],
+        key: str,
+        result: UnsafeScanResult,
+    ) -> UnsafeScanResult:
+        if cache is not None:
+            cache.put(
+                key,
+                {
+                    "crash_voltage_mv": result.crash_voltage_mv,
+                    "steps": self._encode_steps(result.steps),
+                },
+            )
+        return result
+
     # -- pfail curve -------------------------------------------------------------
 
     def pfail_curve(
@@ -376,10 +777,47 @@ class VminCampaign:
     ) -> Dict[int, float]:
         """Exact cumulative failure probability per voltage (Fig. 5)."""
         true_vmin, droop_class = self._true_vmin(point)
-        return {
-            int(v): self.fault_model.pfail(v, true_vmin, droop_class)
-            for v in voltages_mv
-        }
+        voltages = [int(v) for v in voltages_mv]
+        if not self.use_kernels or not voltages:
+            return {
+                v: self.fault_model.pfail(v, true_vmin, droop_class)
+                for v in voltages
+            }
+        curve = pfail_grid(
+            self.fault_model,
+            np.asarray(voltages, dtype=np.int64),
+            true_vmin,
+            droop_class,
+        )
+        return dict(zip(voltages, curve.tolist()))
+
+    def pfail_curves(
+        self,
+        points: Sequence[CharacterizationPoint],
+        voltages_mv: Iterable[int],
+    ) -> List[Dict[int, float]]:
+        """Batched :meth:`pfail_curve` over many configurations.
+
+        One kernel evaluation covers every (point, voltage) pair; each
+        returned curve equals the per-point ``pfail_curve`` exactly.
+        """
+        points = list(points)
+        voltages = [int(v) for v in voltages_mv]
+        if not self.use_kernels or not points or not voltages:
+            return [self.pfail_curve(p, voltages) for p in points]
+        grid = evaluate_grid(
+            self.vmin_model,
+            [p.freq_hz for p in points],
+            [p.cores for p in points],
+            [p.workload_delta_mv for p in points],
+        )
+        curves = pfail_grid(
+            self.fault_model,
+            np.asarray(voltages, dtype=np.int64)[None, :],
+            grid.total_mv[:, None],
+            grid.droop_class[:, None],
+        )
+        return [dict(zip(voltages, row)) for row in curves.tolist()]
 
     # -- internals --------------------------------------------------------------
 

@@ -71,6 +71,49 @@ class TestEventQueue:
         queue.cancel(event)
         assert not queue
 
+    def test_cancelled_set_drains_when_queue_logically_empty(self):
+        # Regression: cancelled events buried below the heap top used to
+        # linger in _cancelled (and _heap) forever once the queue was
+        # logically empty, growing without bound on a reused queue.
+        queue = EventQueue()
+        for round_no in range(50):
+            live = queue.schedule(1.0, "live")
+            buried = queue.schedule(2.0 + round_no, "buried")
+            queue.cancel(buried)
+            assert queue.pop().seq == live.seq
+            assert not queue
+            queue.peek_time()  # any lazy-deletion entry point
+            assert not queue._cancelled
+            assert not queue._heap
+
+    def test_cancelled_set_bounded_with_live_backlog(self):
+        # Out-of-order cancellations with a live event pinned at the heap
+        # top must not accumulate corpses past the compaction threshold.
+        queue = EventQueue()
+        queue.schedule(0.0, "pinned")
+        cancelled = [
+            queue.schedule(10.0 + i, f"bulk{i}") for i in range(500)
+        ]
+        for event in cancelled:
+            queue.cancel(event)
+        assert len(queue) == 1
+        queue.peek_time()
+        assert len(queue._cancelled) <= 128
+        assert queue.pop().kind == "pinned"
+        assert not queue._cancelled and not queue._heap
+
+    def test_pop_order_survives_compaction(self):
+        queue = EventQueue()
+        keep = [queue.schedule(float(i), f"k{i}") for i in range(5)]
+        victims = [queue.schedule(100.0 + i, "v") for i in range(300)]
+        for event in victims:
+            queue.cancel(event)
+        queue.peek_time()
+        assert [queue.pop().seq for _ in range(5)] == [
+            e.seq for e in keep
+        ]
+        assert not queue
+
 
 class TestSimClock:
     def test_starts_at_zero(self):

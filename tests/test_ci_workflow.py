@@ -59,6 +59,20 @@ def test_bench_smoke_job_is_timeout_guarded(workflow):
     assert "--benchmark-disable" in text
 
 
+def test_bench_regression_job_gates_on_committed_baseline(workflow):
+    job = workflow["jobs"]["bench-regression"]
+    text = _steps_text(job)
+    assert "--benchmark-json=bench_results.json" in text
+    assert "compare_benchmarks.py compare" in text
+    assert "baseline_medians.json" in text
+    uploads = [
+        step
+        for step in job["steps"]
+        if "upload-artifact" in str(step.get("uses", ""))
+    ]
+    assert uploads and uploads[0]["with"]["path"] == "bench_results.json"
+
+
 def test_every_job_has_a_timeout(workflow):
     for name, job in workflow["jobs"].items():
         assert "timeout-minutes" in job, f"job {name!r} lacks a timeout"
