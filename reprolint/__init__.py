@@ -1,0 +1,23 @@
+"""Entry shim: makes ``python -m reprolint`` work from the repo root.
+
+``python -m`` puts the current directory on ``sys.path``, so this tiny
+package is importable from a fresh checkout with nothing installed. It
+points its search path at the real implementation in
+``tools/reprolint`` and re-exports its public surface — every
+submodule (``reprolint.cli``, ``reprolint.rules``, ...) resolves there.
+"""
+
+from __future__ import annotations
+
+import os
+
+__path__ = [
+    os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        "tools",
+        "reprolint",
+    )
+]
+
+from ._api import *  # noqa: E402,F401,F403
+from ._api import __all__  # noqa: E402,F401

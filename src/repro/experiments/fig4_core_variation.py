@@ -20,6 +20,7 @@ from typing import List, Optional, Sequence
 from ..allocation import Allocation
 from ..analysis.tables import format_table
 from ..platform.specs import get_spec
+from ..units import hz_to_ghz
 from ..vmin.characterize import VminCampaign
 from ..workloads.profiles import BenchmarkProfile
 from ..workloads.suites import characterization_set
@@ -90,7 +91,7 @@ class Fig4Result:
             ],
             title=(
                 f"Figure 4 - single/two-core safe regions "
-                f"({self.platform} @ {self.freq_hz / 1e9:.1f}GHz)"
+                f"({self.platform} @ {hz_to_ghz(self.freq_hz):.1f}GHz)"
             ),
         )
 

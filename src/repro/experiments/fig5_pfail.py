@@ -47,7 +47,7 @@ class PfailCurve:
 
     def safe_vmin_mv(self) -> int:
         """Lowest voltage with pfail == 0 (the last safe step)."""
-        safe = [volt for volt, pfail in self.points if pfail == 0.0]
+        safe = [volt for volt, pfail in self.points if pfail <= 0.0]
         if not safe:
             raise ValueError(f"{self.label}: no safe step in curve")
         return min(safe)

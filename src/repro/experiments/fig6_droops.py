@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..allocation import Allocation, utilized_pmd_count
 from ..analysis.tables import format_table
 from ..platform.specs import get_spec
+from ..units import hz_to_ghz
 from ..vmin.droop import DroopModel
 from ..workloads.profiles import BenchmarkProfile
 from ..workloads.suites import characterization_set
@@ -71,7 +72,7 @@ class Fig6Result:
             ],
             title=(
                 f"Figure 6 - voltage droop detections "
-                f"({self.platform} @ {self.freq_hz / 1e9:.1f}GHz)"
+                f"({self.platform} @ {hz_to_ghz(self.freq_hz):.1f}GHz)"
             ),
         )
 

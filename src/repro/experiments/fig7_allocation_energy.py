@@ -16,6 +16,7 @@ from typing import List, Optional, Sequence
 from ..allocation import Allocation
 from ..analysis.tables import format_table
 from ..platform.specs import get_spec
+from ..units import hz_to_ghz
 from ..workloads.profiles import BenchmarkProfile
 from ..workloads.suites import characterization_set
 from .energy_runner import EnergyRunner
@@ -73,7 +74,7 @@ class Fig7Result:
             ],
             title=(
                 f"Figure 7 - allocation energy, {self.nthreads}T @ "
-                f"{self.freq_hz / 1e9:.1f}GHz ({self.platform})"
+                f"{hz_to_ghz(self.freq_hz):.1f}GHz ({self.platform})"
             ),
         )
 

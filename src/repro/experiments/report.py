@@ -11,7 +11,7 @@ from __future__ import annotations
 import io
 from typing import List
 
-from ..units import ghz
+from ..units import ghz, hz_to_ghz
 from . import (
     fig3_vmin_characterization as fig3,
     fig4_core_variation as fig4,
@@ -68,7 +68,7 @@ def _characterization_section(out: io.StringIO) -> None:
             ]
             rows.append(
                 (
-                    f"{nthreads}T @ {freq / 1e9:.1f} GHz",
+                    f"{nthreads}T @ {hz_to_ghz(freq):.1f} GHz",
                     f"{min(values)}-{max(values)} mV",
                     f"{max(values) - min(values)} mV",
                 )
@@ -173,7 +173,7 @@ def _energy_section(out: io.StringIO) -> None:
                 f"{r11.energy_of(name, 8, ghz(2.4)):.0f} J",
                 f"{r11.energy_of(name, 8, ghz(1.2)):.0f} J",
                 f"{r11.energy_of(name, 8, ghz(0.9)):.0f} J",
-                f"{r12.best_frequency(name, 8) / 1e9:.1f} GHz",
+                f"{hz_to_ghz(r12.best_frequency(name, 8)):.1f} GHz",
             )
             for name in ("namd", "EP", "milc", "CG", "FT")
         ],

@@ -26,7 +26,11 @@ rounding mode and residue placement), so results are bit-for-bit
 identical — not merely close. The scalar APIs remain the reference
 implementations; the property tests in ``tests/vmin/test_kernels.py``
 assert exact equality, and ``docs/PERFORMANCE.md`` documents the
-contract.
+contract. The scalar-to-kernel mapping itself is recorded in
+:mod:`repro.kernels.parity` (:data:`~repro.kernels.parity.PARITY` /
+:data:`~repro.kernels.parity.SCALAR_ONLY`) and enforced statically by
+``reprolint`` rule RL003 and at runtime by
+:func:`~repro.kernels.parity.verify_parity`.
 """
 
 from .faults import (
@@ -39,12 +43,15 @@ from .faults import (
     sample_outcome_counts,
     width_mv_grid,
 )
+from .parity import PARITY, SCALAR_ONLY, verify_parity
 from .power import PowerGrid, chip_power_grid
 from .vmin import VminGrid, evaluate_grid, safe_vmin_grid, safe_vmin_matrix
 
 __all__ = [
     "MIX_ORDER",
+    "PARITY",
     "PowerGrid",
+    "SCALAR_ONLY",
     "VminGrid",
     "analytic_failure_counts",
     "analytic_outcome_counts",
@@ -55,5 +62,6 @@ __all__ = [
     "pfail_grid",
     "safe_vmin_grid",
     "safe_vmin_matrix",
+    "verify_parity",
     "width_mv_grid",
 ]

@@ -17,7 +17,7 @@ and keeps every total identical to the scalar model.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence, Union
+from typing import Any, Iterable, Sequence, Union
 
 import numpy as np
 
@@ -28,7 +28,7 @@ from ..power.model import PowerModel
 CoreSet = Iterable[int]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PowerGrid:
     """One batched power evaluation split into its physical parts (W).
 
@@ -62,7 +62,7 @@ def _scalar_pow_by_unique(values: np.ndarray, exponent: float) -> np.ndarray:
     return powered[inverse]
 
 
-def _as_array(value, n: int, name: str) -> np.ndarray:
+def _as_array(value: Any, n: int, name: str) -> np.ndarray:
     arr = np.asarray(value, dtype=np.float64)
     if arr.ndim == 0:
         return np.full(n, float(arr))

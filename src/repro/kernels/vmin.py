@@ -18,7 +18,7 @@ order, so totals are bit-for-bit identical to
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Sequence, Tuple, Union
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -30,7 +30,7 @@ from ..vmin.model import VminModel, variation_attenuation
 CoreSet = Iterable[int]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class VminGrid:
     """Decomposition arrays of one batched Vmin evaluation (N points).
 
@@ -91,7 +91,7 @@ class _PointCompiler:
         return cached
 
 
-def _as_list(value, n: int, name: str) -> list:
+def _as_list(value: Any, n: int, name: str) -> List[Any]:
     """Broadcast a scalar to length ``n`` or validate a sequence."""
     if isinstance(value, (list, tuple)):
         if len(value) not in (1, n):
@@ -107,7 +107,7 @@ def evaluate_grid(
     freq_hz: Union[int, Sequence[int]],
     cores: Union[CoreSet, Sequence[CoreSet]],
     workload_delta_mv: Union[float, Sequence[float]] = 0.0,
-    compiler: _PointCompiler = None,
+    compiler: Optional[_PointCompiler] = None,
 ) -> VminGrid:
     """Batched :meth:`VminModel.evaluate` over N configurations.
 
@@ -138,7 +138,7 @@ def evaluate_grid(
     atten = np.empty(n, dtype=np.float64)
     offset = np.empty(n, dtype=np.float64)
     droop = np.empty(n, dtype=np.int64)
-    classes = []
+    classes: List[FrequencyClass] = []
     for i in range(n):
         fclass = compile_.freq_class(freqs[i])
         droop_class, attenuation, core_offset = compile_.core_terms(
@@ -167,7 +167,7 @@ def evaluate_grid(
     )
 
 
-def _normalize_core_sets(cores) -> list:
+def _normalize_core_sets(cores: Any) -> List[Tuple[int, ...]]:
     """Normalize ``cores`` to a list of core-id tuples."""
     seq = list(cores)
     if seq and all(isinstance(c, (int, np.integer)) for c in seq):

@@ -33,7 +33,7 @@ class WorkloadClass(enum.Enum):
     MEMORY_INTENSIVE = "memory"
 
 
-@dataclass
+@dataclass(slots=True)
 class ProcessCounters:
     """Per-process PMU accumulation (what the kernel module exposes)."""
 

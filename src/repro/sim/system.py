@@ -41,7 +41,7 @@ from .tracing import TimelineTrace, TraceSample
 REMAINING_EPS = 1e-9
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ViolationRecord:
     """One interval where the rail sat below the ground-truth safe Vmin."""
 
@@ -55,7 +55,7 @@ class ViolationRecord:
         return self.required_mv - self.voltage_mv
 
 
-@dataclass
+@dataclass(slots=True)
 class SystemResult:
     """Outcome of one full workload replay (one Tables III/IV column)."""
 

@@ -15,7 +15,7 @@ from typing import List, Sequence
 from ..errors import SimulationError
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceSample:
     """One sample of the running system."""
 
@@ -29,7 +29,7 @@ class TraceSample:
     mean_active_freq_hz: float
 
 
-@dataclass
+@dataclass(slots=True)
 class TimelineTrace:
     """Fixed-period samples of the whole run."""
 

@@ -46,7 +46,7 @@ from collections import OrderedDict
 from dataclasses import asdict, dataclass, replace
 from functools import lru_cache
 from pathlib import Path
-from typing import Any, Callable, Dict, Iterable, Optional, Union
+from typing import Any, Callable, Dict, Iterable, Optional, TypeVar, Union
 
 from ..errors import ConfigurationError
 
@@ -55,7 +55,27 @@ from ..platform.specs import ChipSpec
 #: JSON-representable cache value.
 CacheValue = Any
 
+_F = TypeVar("_F", bound=Callable[..., Any])
 
+
+def cache_key_producer(func: _F) -> _F:
+    """Marker: ``func``'s output feeds content-addressed cache keys.
+
+    A no-op at runtime — its value is the contract it announces: a
+    decorated function must be a *pure* function of its arguments (no
+    environment variables, no wall clock, no module-level mutable
+    state), or identical campaigns would hash to different keys.
+    ``reprolint`` rule RL004 statically enforces the contract for every
+    function carrying this marker.
+    """
+    try:
+        func.__cache_key_producer__ = True  # type: ignore[attr-defined]
+    except (AttributeError, TypeError):  # pragma: no cover - C callables
+        pass
+    return func
+
+
+@cache_key_producer
 def canonical_json(payload: Any) -> str:
     """Canonical (sorted, compact) JSON used for content addressing."""
     return json.dumps(payload, sort_keys=True, separators=(",", ":"))
@@ -65,6 +85,7 @@ def _digest(payload: Any) -> str:
     return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
 
 
+@cache_key_producer
 @lru_cache(maxsize=64)
 def spec_fingerprint(spec: ChipSpec) -> str:
     """Stable fingerprint over *every* field of a platform spec.
@@ -110,6 +131,7 @@ def _identity_memo(
     return lookup
 
 
+@cache_key_producer
 @_identity_memo
 def model_fingerprint(vmin_model: Any) -> str:
     """Fingerprint of a ground-truth :class:`~repro.vmin.model.VminModel`.
@@ -122,6 +144,7 @@ def model_fingerprint(vmin_model: Any) -> str:
     return _digest(payload)[:16]
 
 
+@cache_key_producer
 @_identity_memo
 def fault_fingerprint(fault_model: Any) -> str:
     """Fingerprint of a fault model's unsafe-region parameters."""
@@ -135,6 +158,7 @@ def fault_fingerprint(fault_model: Any) -> str:
     )[:16]
 
 
+@cache_key_producer
 def make_key(**parts: Any) -> str:
     """Content-addressed cache key from keyword components."""
     return _digest(parts)
@@ -361,6 +385,7 @@ def reset_default_cache() -> VminCache:
     return configure_default_cache()
 
 
+@cache_key_producer
 def occupancy_of(spec: ChipSpec, cores: Iterable[int]) -> Dict[str, int]:
     """Threads per utilized PMD — the droop-class input of the key."""
     occupancy: Dict[str, int] = {}

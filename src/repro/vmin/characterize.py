@@ -38,6 +38,7 @@ from ..kernels.vmin import evaluate_grid
 from ..platform.specs import ChipSpec
 from .cache import (
     VminCache,
+    cache_key_producer,
     fault_fingerprint,
     get_default_cache,
     make_key,
@@ -203,6 +204,7 @@ class VminCampaign:
         # derivation and payload encoding altogether.
         return None if cache.disabled else cache
 
+    @cache_key_producer
     def _campaign_key(
         self,
         kind: str,

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
 
 from ..errors import ConfigurationError
 from ..platform.specs import ChipSpec
@@ -87,18 +87,37 @@ def max_core_offset_mv(spec: ChipSpec) -> float:
     return _MAX_OFFSET_MV.get(spec.name, _DEFAULT_MAX_OFFSET_MV)
 
 
-def make_variation_map(spec: ChipSpec, silicon_seed: int = 0) -> CoreVariationMap:
+def variation_rng(spec: ChipSpec, silicon_seed: int) -> random.Random:
+    """The derived RNG stream of one ``(spec, seed)`` silicon instance.
+
+    Keyed on the chip family name and the seed, so the same seed draws
+    a different chip from each family's population but always the same
+    chip within a family.
+    """
+    return random.Random((spec.name, silicon_seed).__repr__())
+
+
+def make_variation_map(
+    spec: ChipSpec,
+    silicon_seed: int = 0,
+    rng: Optional[random.Random] = None,
+) -> CoreVariationMap:
     """Build the static variation map for one silicon instance.
 
     Seed 0 on X-Gene 2 reproduces the paper's chip (robust PMD2); every
     other (spec, seed) pair draws offsets uniformly in
     ``[0, max_core_offset_mv(spec)]`` with mild within-PMD correlation,
     since the two cores of a PMD share layout and supply routing.
-    """
-    if silicon_seed == 0 and spec.name == "X-Gene 2":
-        return CoreVariationMap(spec.name, _XGENE2_PAPER_OFFSETS)
 
-    rng = random.Random((spec.name, silicon_seed).__repr__())
+    ``rng`` injects an explicit random stream and always draws from the
+    population (it bypasses the paper-chip shortcut — an injected
+    stream means the caller wants the draw, not the hand-laid table);
+    by default the stream is derived via :func:`variation_rng`.
+    """
+    if rng is None:
+        if silicon_seed == 0 and spec.name == "X-Gene 2":
+            return CoreVariationMap(spec.name, _XGENE2_PAPER_OFFSETS)
+        rng = variation_rng(spec, silicon_seed)
     limit = max_core_offset_mv(spec)
     offsets = []
     for pmd in range(spec.n_pmds):

@@ -151,11 +151,32 @@ class ServerWorkloadGenerator:
 
     # -- public API -------------------------------------------------------------
 
-    def generate(self, duration_s: float = 3600.0) -> Workload:
-        """Generate one workload over ``duration_s`` seconds."""
+    def rng_for(self) -> random.Random:
+        """The generator's derived RNG stream.
+
+        The stream is keyed on ``(seed, max_cores)`` so the same seed
+        yields the same workload on the same machine size, while two
+        machine sizes do not silently share draws. :meth:`generate`
+        constructs exactly this stream when no ``rng`` is injected.
+        """
+        return random.Random(f"workload/{self.seed}/{self.max_cores}")
+
+    def generate(
+        self,
+        duration_s: float = 3600.0,
+        rng: Optional[random.Random] = None,
+    ) -> Workload:
+        """Generate one workload over ``duration_s`` seconds.
+
+        ``rng`` injects an explicit random stream (tests use this to
+        replay or perturb draws); by default each call derives the
+        seed-keyed stream from :meth:`rng_for`, so repeated calls with
+        the same configuration return identical workloads.
+        """
         if duration_s <= 0:
             raise ConfigurationError("duration must be positive")
-        rng = random.Random(f"workload/{self.seed}/{self.max_cores}")
+        if rng is None:
+            rng = self.rng_for()
         phases = self._phases(rng, duration_s)
         occupancy = np.zeros(int(np.ceil(duration_s)) + 1, dtype=np.int64)
         jobs: List[JobSpec] = []

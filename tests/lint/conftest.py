@@ -1,0 +1,17 @@
+"""Make the reprolint implementation importable under pytest.
+
+The real package lives in ``tools/reprolint`` (the repo-root shim only
+exists for ``python -m reprolint``); tests import it by putting
+``tools/`` on ``sys.path``.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+TOOLS_DIR = REPO_ROOT / "tools"
+
+if str(TOOLS_DIR) not in sys.path:
+    sys.path.insert(0, str(TOOLS_DIR))

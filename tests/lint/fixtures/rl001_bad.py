@@ -1,0 +1,26 @@
+"""RL001 fixture: magic conversions and suffix contradictions."""
+
+from repro.units import hz_to_ghz, mv_to_v
+
+freq_hz = 2_400_000_000
+voltage_mv = 980.0
+rail_v = 0.98
+
+
+def label(freq_hz: float) -> str:
+    return f"{freq_hz / 1e9:.1f} GHz"  # line 11: div by 1e9
+
+
+def to_millivolts(voltage: float) -> float:
+    return voltage * 1000  # line 15: mult by 1000
+
+
+def wrong_suffix_div() -> float:
+    return hz_to_ghz(freq_ghz)  # line 19: _ghz arg into hz_to_ghz
+
+
+def wrong_suffix_volt() -> float:
+    return mv_to_v(rail_v)  # line 23: _v arg into mv_to_v
+
+
+freq_ghz = 2.4

@@ -1,0 +1,23 @@
+"""RL001 fixture: the idiomatic spellings that must NOT be flagged."""
+
+from repro.units import GHZ, ghz, hz_to_ghz, mv_to_v
+
+freq_hz = ghz(2.4)
+cycles = 42_000_000
+
+
+def label(freq_hz: float) -> str:
+    return f"{hz_to_ghz(freq_hz):.1f} GHz"
+
+
+def named_constant(freq_hz: float) -> float:
+    return freq_hz / GHZ
+
+
+def volts(voltage_mv: float) -> float:
+    return mv_to_v(voltage_mv)
+
+
+def not_a_unit(cycles: int) -> float:
+    # cycles are not a physical unit tracked by repro.units.
+    return cycles / 1e6

@@ -1,0 +1,38 @@
+"""RL002 fixture: nondeterminism in a deterministic module."""
+
+import random
+import time
+from datetime import datetime
+
+import numpy as np
+
+
+def unseeded() -> random.Random:
+    return random.Random()  # line 11
+
+
+def unseeded_np():
+    return np.random.default_rng()  # line 15
+
+
+def global_stream() -> float:
+    return random.uniform(0.0, 1.0)  # line 19
+
+
+def global_np() -> float:
+    return np.random.normal()  # line 23
+
+
+def stamped() -> float:
+    return time.time()  # line 27
+
+
+def dated():
+    return datetime.now()  # line 31
+
+
+def hash_order(cores):
+    out = []
+    for core in {0, 1, 2}:  # line 36
+        out.append(core)
+    return [c for c in set(cores)]  # line 38

@@ -1,0 +1,30 @@
+"""RL002 fixture: seeded, sorted, clock-free — must NOT be flagged."""
+
+import random
+
+import numpy as np
+
+
+def seeded(seed: int) -> random.Random:
+    return random.Random(seed)
+
+
+def seeded_np(seed: int):
+    return np.random.default_rng(seed)
+
+
+def threaded(rng: random.Random) -> float:
+    return rng.uniform(0.0, 1.0)
+
+
+def sorted_iteration(cores):
+    out = []
+    for core in sorted(set(cores)):
+        out.append(core)
+    return out
+
+
+def plain_variable_iteration(cores):
+    # Iterating a *variable* is fine: the rule only flags syntactic
+    # set expressions, where hash order is certain.
+    return [c for c in cores]

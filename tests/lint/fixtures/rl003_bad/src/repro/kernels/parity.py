@@ -1,0 +1,10 @@
+"""Broken parity registry: dangling kernel, stale key, empty reason."""
+
+PARITY = {
+    "repro.vmin.model.evaluate_point": "repro.kernels.vmin.missing_grid",
+    "repro.vmin.model.ghost": "repro.kernels.vmin.evaluate_point_grid",
+}
+
+SCALAR_ONLY = {
+    "repro.vmin.model.helper": "",
+}

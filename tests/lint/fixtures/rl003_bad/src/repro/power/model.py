@@ -1,0 +1,1 @@
+"""Mini power module: nothing public on purpose."""

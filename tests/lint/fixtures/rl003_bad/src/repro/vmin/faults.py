@@ -1,0 +1,1 @@
+"""Mini fault module: nothing public on purpose."""

@@ -1,0 +1,17 @@
+"""Mini scalar model with one unregistered public callable."""
+
+
+def evaluate_point(x):
+    return x * 2
+
+
+def orphan_fn(x):  # line 8: in neither PARITY nor SCALAR_ONLY
+    return x + 1
+
+
+def helper(x):
+    return -x
+
+
+def _private(x):
+    return x

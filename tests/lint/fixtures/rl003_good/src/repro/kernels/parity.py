@@ -1,0 +1,10 @@
+"""Complete parity registry: every public scalar accounted for."""
+
+PARITY = {
+    "repro.vmin.model.evaluate_point": "repro.kernels.vmin.evaluate_point_grid",
+    "repro.vmin.model.MiniModel.score": "repro.kernels.vmin.score_grid",
+}
+
+SCALAR_ONLY = {
+    "repro.vmin.model.helper": "sign flip convenience; trivially inlined",
+}

@@ -1,0 +1,40 @@
+"""Mini scalar model, fully registered."""
+
+from dataclasses import dataclass
+
+
+def evaluate_point(x):
+    return x * 2
+
+
+def helper(x):
+    return -x
+
+
+def _private(x):
+    return x
+
+
+@dataclass
+class Breakdown:
+    # Dataclasses are records, not scalar evaluations: not enumerated.
+    total: float
+
+    def as_tuple(self):
+        return (self.total,)
+
+
+class MiniModel:
+    def score(self, x):
+        return x * 3
+
+    @property
+    def name(self):
+        return "mini"
+
+    @classmethod
+    def for_chip(cls):
+        return cls()
+
+    def _internal(self, x):
+        return x

@@ -1,0 +1,30 @@
+"""RL004 fixture: impure cache-key producers."""
+
+import os
+import time
+
+from repro.vmin.cache import cache_key_producer
+
+_COUNTER = 0
+
+
+@cache_key_producer
+def key_with_env(name: str) -> str:
+    return name + os.environ["CACHE_SALT"]  # line 13
+
+
+@cache_key_producer
+def key_with_getenv(name: str) -> str:
+    return name + (os.getenv("CACHE_SALT") or "")  # line 18
+
+
+@cache_key_producer
+def key_with_clock(name: str) -> str:
+    return f"{name}/{time.time()}"  # line 23
+
+
+@cache_key_producer
+def key_with_global(name: str) -> str:
+    global _COUNTER  # line 28
+    _COUNTER += 1
+    return f"{name}/{_COUNTER}"

@@ -1,0 +1,19 @@
+"""RL004 fixture: pure cache-key producers — must NOT be flagged."""
+
+import hashlib
+import json
+import os
+import time
+
+from repro.vmin.cache import cache_key_producer
+
+
+@cache_key_producer
+def pure_key(payload) -> str:
+    text = json.dumps(payload, sort_keys=True)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def undecorated_helper(name: str) -> str:
+    # Not a key producer: environment and clock reads are allowed.
+    return f"{name}/{os.environ.get('HOME', '')}/{time.time()}"

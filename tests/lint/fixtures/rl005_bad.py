@@ -1,0 +1,21 @@
+"""RL005 fixture: slot-less hot dataclasses and float equality."""
+
+from dataclasses import dataclass
+
+
+@dataclass  # line 6
+class EventRecord:
+    t_s: float
+
+
+@dataclass(frozen=True)  # line 11
+class GridSlice:
+    values: tuple
+
+
+def exactly_zero(pfail: float) -> bool:
+    return pfail == 0.0  # line 17
+
+
+def not_one(ratio: float) -> bool:
+    return ratio != 1.0  # line 21

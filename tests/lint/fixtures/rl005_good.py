@@ -1,0 +1,26 @@
+"""RL005 fixture: slotted dataclasses, tolerant floats — NOT flagged."""
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(slots=True)
+class EventRecord:
+    t_s: float
+
+
+@dataclass(frozen=True, slots=True)
+class GridSlice:
+    values: tuple
+
+
+def effectively_zero(pfail: float) -> bool:
+    return pfail <= 0.0
+
+
+def near_one(ratio: float) -> bool:
+    return math.isclose(ratio, 1.0)
+
+
+def int_equality(count: int) -> bool:
+    return count == 0

@@ -1,0 +1,5 @@
+"""Suppression fixture: reason-less waiver silences nothing (RL000)."""
+
+freq_hz = 2_400_000_000
+
+display = freq_hz / 1e9  # reprolint: disable=RL001

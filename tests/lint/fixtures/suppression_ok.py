@@ -1,0 +1,5 @@
+"""Suppression fixture: a reasoned waiver silences its finding."""
+
+freq_hz = 2_400_000_000
+
+display = freq_hz / 1e9  # reprolint: disable=RL001 -- axis label literal, checked in test_plots

@@ -1,0 +1,147 @@
+"""CLI behavior: formats, exit codes, selection, shim entry point."""
+
+from __future__ import annotations
+
+import json
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from reprolint.cli import main
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture
+def dirty_tree(tmp_path):
+    """A fake project with one RL005-able file and a pyproject."""
+    (tmp_path / "pyproject.toml").write_text("[project]\nname='x'\n")
+    src = tmp_path / "src" / "repro" / "sim"
+    src.mkdir(parents=True)
+    (src / "hot.py").write_text(
+        "from dataclasses import dataclass\n"
+        "\n"
+        "\n"
+        "@dataclass\n"
+        "class Sample:\n"
+        "    t_s: float\n"
+    )
+    return tmp_path
+
+
+def run_cli(args, capsys):
+    code = main(args)
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestExitCodes:
+    def test_clean_run_exits_zero(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        code, out, _ = run_cli([str(tmp_path / "ok.py")], capsys)
+        assert code == 0
+        assert "clean" in out
+
+    def test_findings_exit_one(self, dirty_tree, capsys):
+        code, out, _ = run_cli(
+            [str(dirty_tree / "src"), "--select", "RL005"], capsys
+        )
+        assert code == 1
+        assert "RL005" in out
+        assert "1 finding" in out
+
+    def test_missing_target_exits_two(self, capsys):
+        code, _, err = run_cli(["definitely/not/here"], capsys)
+        assert code == 2
+        assert "no such file" in err
+
+    def test_unknown_rule_id_is_usage_error(self, dirty_tree, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main([str(dirty_tree / "src"), "--select", "RL999"])
+        assert excinfo.value.code == 2
+
+
+class TestFormats:
+    def test_json_format_is_machine_readable(self, dirty_tree, capsys):
+        code, out, _ = run_cli(
+            [
+                str(dirty_tree / "src"),
+                "--select",
+                "RL005",
+                "--format",
+                "json",
+            ],
+            capsys,
+        )
+        assert code == 1
+        payload = json.loads(out)
+        assert len(payload) == 1
+        entry = payload[0]
+        assert entry["rule"] == "RL005"
+        assert entry["line"] == 5
+        assert entry["col"] == 0
+        assert entry["path"].endswith("hot.py")
+
+    def test_github_format_emits_error_commands(
+        self, dirty_tree, capsys
+    ):
+        code, out, _ = run_cli(
+            [
+                str(dirty_tree / "src"),
+                "--select",
+                "RL005",
+                "--format",
+                "github",
+            ],
+            capsys,
+        )
+        assert code == 1
+        line = out.strip().splitlines()[0]
+        assert line.startswith("::error file=")
+        assert "line=5" in line
+        # GitHub columns are 1-based; the AST col_offset 0 maps to 1.
+        assert "col=1" in line
+        assert "reprolint RL005" in line
+
+    def test_github_format_escapes_newlines_and_percent(self):
+        from reprolint.cli import _escape_data
+
+        assert _escape_data("a%b\nc\rd") == "a%25b%0Ac%0Dd"
+
+    def test_list_rules(self, capsys):
+        code, out, _ = run_cli(["--list-rules"], capsys)
+        assert code == 0
+        for rule_id in ("RL000", "RL001", "RL002", "RL003", "RL004",
+                        "RL005"):
+            assert rule_id in out
+
+
+class TestModuleEntryPoint:
+    def test_python_dash_m_reprolint_from_repo_root(self, tmp_path):
+        # The root shim must make `python -m reprolint` work from a
+        # fresh checkout with nothing installed.
+        (tmp_path / "clean.py").write_text("x = 1\n")
+        result = subprocess.run(
+            [sys.executable, "-m", "reprolint", str(tmp_path)],
+            cwd=str(REPO_ROOT),
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "clean" in result.stdout
+
+    def test_fixture_walks_are_excluded_by_default(self, tmp_path):
+        # Directory walks skip lint fixture corpora (files meant to be
+        # flagged); pointing the CLI at an explicit fixture file still
+        # lints it. The copy lives outside a `tests/` path segment so
+        # it is not exempted as test code.
+        target = tmp_path / "lint" / "fixtures"
+        target.mkdir(parents=True)
+        shutil.copy(FIXTURES / "rl005_bad.py", target / "rl005_bad.py")
+        assert main([str(tmp_path)]) == 0
+        assert main([str(target / "rl005_bad.py")]) == 1

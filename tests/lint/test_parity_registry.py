@@ -1,0 +1,29 @@
+"""Runtime validation of the kernel/scalar parity registry."""
+
+from __future__ import annotations
+
+from repro.kernels.parity import PARITY, SCALAR_ONLY, verify_parity
+
+
+def test_verify_parity_resolves_every_entry():
+    pairs = verify_parity()
+    assert len(pairs) == len(PARITY)
+    assert dict(pairs) == PARITY
+
+
+def test_tables_are_disjoint_and_reasoned():
+    assert not set(PARITY) & set(SCALAR_ONLY)
+    for name, reason in SCALAR_ONLY.items():
+        assert reason.strip(), name
+
+
+def test_known_mirrors_present():
+    # The load-bearing mirrors the sweep tests rely on.
+    assert (
+        PARITY["repro.vmin.model.VminModel.evaluate"]
+        == "repro.kernels.vmin.evaluate_grid"
+    )
+    assert (
+        PARITY["repro.power.model.PowerModel.chip_power"]
+        == "repro.kernels.power.chip_power_grid"
+    )

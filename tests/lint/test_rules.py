@@ -1,0 +1,176 @@
+"""Fixture tests of every reprolint rule, with exact line/col pins.
+
+Each fixture is linted via ``lint_file(path, module=..., is_test=...)``
+— the override API that treats a fixture as if it lived at a chosen
+spot in the package — and the findings are compared as exact
+``(rule, line, col)`` tuples, so a rule that drifts by one token fails
+loudly here.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from reprolint.engine import lint_file
+from reprolint.rules import ALL_RULES
+from reprolint.rules.parity import KernelScalarParity
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+
+def lint_fixture(name: str, module: str, is_test: bool = False):
+    findings = lint_file(
+        FIXTURES / name, ALL_RULES, module=module, is_test=is_test
+    )
+    return [(f.rule_id, f.line, f.col) for f in findings], findings
+
+
+class TestRL001Units:
+    def test_bad_fixture_exact_positions(self):
+        marks, findings = lint_fixture(
+            "rl001_bad.py", "repro.experiments.fixture"
+        )
+        assert marks == [
+            ("RL001", 11, 14),  # freq_hz / 1e9 inside the f-string
+            ("RL001", 15, 11),  # voltage * 1000
+            ("RL001", 19, 11),  # hz_to_ghz(freq_ghz)
+            ("RL001", 23, 11),  # mv_to_v(rail_v)
+        ]
+        assert "hz_to_ghz" in findings[0].message
+        assert "v_to_mv" in findings[1].message
+        assert "_ghz" in findings[2].message
+        assert "_v" in findings[3].message
+
+    def test_good_fixture_clean(self):
+        marks, _ = lint_fixture(
+            "rl001_good.py", "repro.experiments.fixture"
+        )
+        assert marks == []
+
+    def test_exempt_module_is_skipped(self):
+        marks, _ = lint_fixture("rl001_bad.py", "repro.units")
+        assert [m for m in marks if m[0] == "RL001"] == []
+
+
+class TestRL002Determinism:
+    def test_bad_fixture_exact_positions(self):
+        marks, _ = lint_fixture("rl002_bad.py", "repro.sim.fixture")
+        assert marks == [
+            ("RL002", 11, 11),  # random.Random()
+            ("RL002", 15, 11),  # np.random.default_rng()
+            ("RL002", 19, 11),  # random.uniform(...)
+            ("RL002", 23, 11),  # np.random.normal()
+            ("RL002", 27, 11),  # time.time()
+            ("RL002", 31, 11),  # datetime.now()
+            ("RL002", 36, 4),   # for core in {0, 1, 2}
+            ("RL002", 38, 23),  # [c for c in set(cores)]
+        ]
+
+    def test_good_fixture_clean(self):
+        marks, _ = lint_fixture("rl002_good.py", "repro.sim.fixture")
+        assert marks == []
+
+    def test_rule_scoped_to_deterministic_modules(self):
+        marks, _ = lint_fixture(
+            "rl002_bad.py", "repro.analysis.fixture"
+        )
+        assert marks == []
+
+    def test_rule_exempts_test_code(self):
+        marks, _ = lint_fixture(
+            "rl002_bad.py", "repro.sim.fixture", is_test=True
+        )
+        assert marks == []
+
+
+class TestRL004CachePurity:
+    # Linted under a non-deterministic module so RL002 stays out of
+    # the picture: RL004 applies to marked functions everywhere.
+    def test_bad_fixture_exact_positions(self):
+        marks, _ = lint_fixture(
+            "rl004_bad.py", "repro.analysis.fixture"
+        )
+        assert marks == [
+            ("RL004", 13, 18),  # os.environ["CACHE_SALT"]
+            ("RL004", 18, 19),  # os.getenv("CACHE_SALT")
+            ("RL004", 23, 21),  # time.time()
+            ("RL004", 28, 4),   # global _COUNTER
+        ]
+
+    def test_good_fixture_clean(self):
+        marks, _ = lint_fixture(
+            "rl004_good.py", "repro.analysis.fixture"
+        )
+        assert marks == []
+
+
+class TestRL005Hygiene:
+    def test_bad_fixture_exact_positions(self):
+        marks, _ = lint_fixture("rl005_bad.py", "repro.sim.fixture")
+        assert marks == [
+            ("RL005", 7, 0),    # @dataclass without slots
+            ("RL005", 12, 0),   # @dataclass(frozen=True) without slots
+            ("RL005", 17, 11),  # pfail == 0.0
+            ("RL005", 21, 11),  # ratio != 1.0
+        ]
+
+    def test_good_fixture_clean(self):
+        marks, _ = lint_fixture("rl005_good.py", "repro.sim.fixture")
+        assert marks == []
+
+    def test_slots_rule_scoped_to_hot_modules(self):
+        marks, _ = lint_fixture(
+            "rl005_bad.py", "repro.experiments.fixture"
+        )
+        # Outside the hot modules only the float comparisons remain.
+        assert marks == [("RL005", 17, 11), ("RL005", 21, 11)]
+
+    def test_float_eq_allowed_in_tests(self):
+        marks, _ = lint_fixture(
+            "rl005_bad.py", "repro.sim.fixture", is_test=True
+        )
+        assert marks == []
+
+
+class TestSuppressions:
+    def test_reasoned_suppression_silences(self):
+        marks, _ = lint_fixture(
+            "suppression_ok.py", "repro.experiments.fixture"
+        )
+        assert marks == []
+
+    def test_reasonless_suppression_is_rl000_and_silences_nothing(self):
+        marks, _ = lint_fixture(
+            "suppression_bad.py", "repro.experiments.fixture"
+        )
+        assert marks == [("RL000", 5, 0), ("RL001", 5, 10)]
+
+
+class TestRL003Parity:
+    def test_bad_project_exact_positions(self):
+        rule = KernelScalarParity()
+        findings = sorted(
+            rule.check_project(FIXTURES / "rl003_bad"),
+            key=lambda f: (f.path, f.line, f.col),
+        )
+        marks = [
+            (Path(f.path).name, f.line, f.col) for f in findings
+        ]
+        assert marks == [
+            ("parity.py", 4, 39),  # dangling kernel value
+            ("parity.py", 5, 4),   # stale PARITY key
+            ("parity.py", 9, 31),  # empty SCALAR_ONLY reason
+            ("model.py", 8, 0),    # unregistered orphan_fn
+        ]
+        assert "orphan_fn" in findings[3].message
+        assert "missing_grid" in findings[0].message
+
+    def test_good_project_clean(self):
+        rule = KernelScalarParity()
+        assert list(rule.check_project(FIXTURES / "rl003_good")) == []
+
+    def test_missing_registry_is_one_finding(self, tmp_path):
+        rule = KernelScalarParity()
+        findings = list(rule.check_project(tmp_path))
+        assert len(findings) == 1
+        assert "registry missing" in findings[0].message

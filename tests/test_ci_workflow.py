@@ -31,6 +31,7 @@ def test_workflow_parses_with_expected_jobs(workflow):
     assert set(workflow["jobs"]) >= {
         "test",
         "lint",
+        "lint-invariants",
         "bench-smoke",
         "verify",
     }
@@ -49,6 +50,23 @@ def test_lint_job_runs_ruff(workflow):
     text = _steps_text(workflow["jobs"]["lint"])
     assert "ruff check" in text
     assert "ruff format --check" in text
+
+
+def test_lint_invariants_job_runs_reprolint_and_mypy(workflow):
+    job = workflow["jobs"]["lint-invariants"]
+    text = _steps_text(job)
+    assert "python -m reprolint src tests --format github" in text
+    assert "python -m mypy" in text
+    # reprolint must run before anything is installed: it is the same
+    # stdlib-only invocation the pre-commit hook uses.
+    runs = [str(step.get("run", "")) for step in job["steps"]]
+    reprolint_idx = next(
+        i for i, run in enumerate(runs) if "reprolint" in run
+    )
+    install_idx = next(
+        i for i, run in enumerate(runs) if "pip install" in run
+    )
+    assert reprolint_idx < install_idx
 
 
 def test_bench_smoke_job_is_timeout_guarded(workflow):

@@ -1,0 +1,6 @@
+"""reprolint — AST-based invariant checks for this repository."""
+
+from __future__ import annotations
+
+from ._api import *  # noqa: F401,F403
+from ._api import __all__  # noqa: F401

@@ -1,0 +1,37 @@
+"""Shared public surface, re-exported by both package entry shims.
+
+The real package lives in ``tools/reprolint``; a thin shim package at
+the repository root points its ``__path__`` here so that
+``python -m reprolint`` works from a fresh checkout without installing
+anything. Both ``__init__`` modules just do ``from ._api import *``.
+"""
+
+from __future__ import annotations
+
+from .cli import main
+from .engine import (
+    Finding,
+    ProjectRule,
+    Rule,
+    SourceFile,
+    SUPPRESSION_RULE_ID,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+from .rules import ALL_RULES, PROJECT_RULES, RULE_BY_ID
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "PROJECT_RULES",
+    "ProjectRule",
+    "RULE_BY_ID",
+    "Rule",
+    "SUPPRESSION_RULE_ID",
+    "SourceFile",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "main",
+]

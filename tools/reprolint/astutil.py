@@ -1,0 +1,111 @@
+"""Small AST helpers shared by the reprolint rules."""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, List, Optional
+
+_CAMEL_RE = re.compile(r"(?<=[a-z0-9])(?=[A-Z])")
+
+
+def name_tokens(identifier: str) -> List[str]:
+    """Lower-case word tokens of an identifier (snake or camel case)."""
+    flat = _CAMEL_RE.sub("_", identifier)
+    return [token for token in flat.lower().split("_") if token]
+
+
+def unit_suffix(identifier: str) -> Optional[str]:
+    """Trailing unit token of an identifier (``safe_vmin_mv`` -> ``mv``)."""
+    tokens = name_tokens(identifier)
+    return tokens[-1] if tokens else None
+
+
+def expr_identifier(node: ast.AST) -> Optional[str]:
+    """The human-relevant identifier of an expression, if any.
+
+    ``freq`` for a name, ``freq_hz`` for ``self.freq_hz``,
+    ``best_frequency`` for ``obj.best_frequency(...)``.
+    """
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Call):
+        return expr_identifier(node.func)
+    return None
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def decorator_name(node: ast.AST) -> Optional[str]:
+    """Terminal name of a decorator (``x`` for ``@m.x(...)``)."""
+    if isinstance(node, ast.Call):
+        node = node.func
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+class ImportAliases:
+    """Which local names refer to which imported modules/objects.
+
+    Tracks ``import random``, ``import numpy as np``,
+    ``from random import choice`` and friends so rules can resolve
+    ``np.random.rand`` or a bare ``choice(...)`` back to their origin.
+    """
+
+    def __init__(self, tree: ast.Module):
+        #: local alias -> imported module path ("np" -> "numpy").
+        self.modules: Dict[str, str] = {}
+        #: local alias -> "module.object" for from-imports.
+        self.objects: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for item in node.names:
+                    self.modules[item.asname or item.name.split(".")[0]] = (
+                        item.name
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                for item in node.names:
+                    self.objects[item.asname or item.name] = (
+                        f"{node.module}.{item.name}"
+                    )
+
+    def module_of(self, alias: str) -> Optional[str]:
+        """Module path a local name refers to, if it is an import."""
+        return self.modules.get(alias)
+
+    def object_of(self, alias: str) -> Optional[str]:
+        """Qualified origin of a from-imported local name."""
+        return self.objects.get(alias)
+
+
+def walk_functions(
+    tree: ast.Module,
+) -> Iterator[ast.FunctionDef]:
+    """Every (sync) function definition in the module, nested included."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.FunctionDef):
+            yield node
+
+
+def const_number(node: ast.AST) -> Optional[float]:
+    """Numeric value of a constant expression node (int/float only)."""
+    if isinstance(node, ast.Constant) and isinstance(
+        node.value, (int, float)
+    ) and not isinstance(node.value, bool):
+        return float(node.value)
+    return None

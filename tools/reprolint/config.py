@@ -1,0 +1,154 @@
+"""Project-specific configuration of the reprolint rules.
+
+Everything the rules know about *this* repository lives here — which
+modules must be deterministic, which dataclasses sit on hot paths,
+where the kernel/scalar parity registry is. Changing the repo layout
+means updating this file, not the rules.
+"""
+
+from __future__ import annotations
+
+#: Module prefixes whose code must be reproducible run-to-run: the
+#: simulation core, the characterization/Vmin stack (including the
+#: content-addressed cache), the batched kernels and the replayable
+#: workload generators. RL002 flags unseeded randomness, wall-clock
+#: reads and hash-order-dependent set iteration here.
+DETERMINISTIC_MODULES = (
+    "repro.sim",
+    "repro.vmin",
+    "repro.kernels",
+    "repro.workloads",
+)
+
+#: Module prefixes whose dataclasses are allocated on hot paths and
+#: must declare ``slots=True`` (RL005).
+HOT_DATACLASS_MODULES = (
+    "repro.sim",
+    "repro.kernels",
+)
+
+#: Modules allowed to spell out raw unit conversions: the unit helpers
+#: themselves, and the pure-display table formatter.
+UNITS_EXEMPT_MODULES = (
+    "repro.units",
+    "repro.analysis.tables",
+)
+
+#: Identifier tokens that mark a value as unit-bearing (RL001). A
+#: name's tokens are its snake_case words; ``v`` and ``w`` alone are
+#: too ambiguous and only count as trailing unit *suffixes*.
+UNIT_TOKENS = frozenset(
+    {
+        "mv",
+        "volt",
+        "volts",
+        "voltage",
+        "voltages",
+        "hz",
+        "ghz",
+        "mhz",
+        "freq",
+        "freqs",
+        "frequency",
+        "frequencies",
+        "watt",
+        "watts",
+        "power",
+    }
+)
+
+#: Magic conversion factors RL001 refuses next to unit-bearing names.
+MAGIC_FACTORS = frozenset({1e3, 1e6, 1e9, 1e-3, 1e-6, 1e-9})
+
+#: ``repro.units`` helpers mapped to the unit suffixes their argument
+#: must NOT carry (the argument is in the *source* unit; an argument
+#: already suffixed with the target or an unrelated unit contradicts
+#: the conversion). Used by RL001's suffix-contradiction check.
+HELPER_FORBIDDEN_SUFFIXES = {
+    "ghz": frozenset({"hz", "mhz", "mv", "v", "w"}),
+    "mhz": frozenset({"hz", "ghz", "mv", "v", "w"}),
+    "hz_to_ghz": frozenset({"ghz", "mhz", "mv", "v", "w"}),
+    "mv_to_v": frozenset({"v", "hz", "ghz", "mhz", "w"}),
+    "v_to_mv": frozenset({"mv", "hz", "ghz", "mhz", "w"}),
+    "fmt_freq": frozenset({"ghz", "mhz", "mv", "v", "w"}),
+    "fmt_mv": frozenset({"v", "hz", "ghz", "mhz", "w"}),
+}
+
+#: Unit suffixes recognized at the end of an identifier.
+UNIT_SUFFIXES = frozenset(
+    {"mv", "v", "hz", "ghz", "mhz", "w", "mw", "kw"}
+)
+
+#: Marker decorator of cache-key-producing functions (RL004).
+CACHE_KEY_DECORATOR = "cache_key_producer"
+
+#: Scalar model modules whose public API must appear in the parity
+#: registry (RL003): dotted name -> repo-relative path.
+SCALAR_MODEL_MODULES = {
+    "repro.vmin.model": "src/repro/vmin/model.py",
+    "repro.vmin.faults": "src/repro/vmin/faults.py",
+    "repro.power.model": "src/repro/power/model.py",
+}
+
+#: The parity registry module (RL003 parses its dict literals).
+PARITY_REGISTRY_PATH = "src/repro/kernels/parity.py"
+
+#: Package holding the batched kernels; every PARITY value must name a
+#: function defined in one of its modules.
+KERNELS_PACKAGE_PATH = "src/repro/kernels"
+KERNELS_PACKAGE_NAME = "repro.kernels"
+
+#: Wall-clock callables (module attr form) treated as nondeterministic.
+WALL_CLOCK_CALLS = frozenset(
+    {
+        ("time", "time"),
+        ("time", "time_ns"),
+        ("time", "monotonic"),
+        ("time", "monotonic_ns"),
+        ("time", "perf_counter"),
+        ("time", "perf_counter_ns"),
+        ("datetime", "now"),
+        ("datetime", "utcnow"),
+        ("datetime", "today"),
+        ("date", "today"),
+    }
+)
+
+#: ``random`` module functions that mutate/read the global RNG stream.
+GLOBAL_RANDOM_FUNCS = frozenset(
+    {
+        "random",
+        "randint",
+        "randrange",
+        "uniform",
+        "choice",
+        "choices",
+        "shuffle",
+        "sample",
+        "gauss",
+        "normalvariate",
+        "betavariate",
+        "expovariate",
+        "getrandbits",
+        "seed",
+    }
+)
+
+#: ``numpy.random`` module-level functions backed by the global state.
+GLOBAL_NP_RANDOM_FUNCS = frozenset(
+    {
+        "rand",
+        "randn",
+        "randint",
+        "random",
+        "random_sample",
+        "choice",
+        "shuffle",
+        "permutation",
+        "binomial",
+        "multinomial",
+        "normal",
+        "uniform",
+        "seed",
+    }
+)

@@ -1,0 +1,41 @@
+"""Rule registry: every reprolint rule, in rule-id order."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Union
+
+from ..engine import ProjectRule, Rule
+from .determinism import Determinism
+from .hygiene import HotPathHygiene
+from .parity import KernelScalarParity
+from .purity import CacheKeyPurity
+from .units import UnitsDiscipline
+
+#: Per-file rules, instantiated once.
+ALL_RULES: List[Rule] = [
+    UnitsDiscipline(),
+    Determinism(),
+    CacheKeyPurity(),
+    HotPathHygiene(),
+]
+
+#: Cross-file project rules.
+PROJECT_RULES: List[ProjectRule] = [
+    KernelScalarParity(),
+]
+
+#: id -> rule, for ``--select`` and ``--list-rules``.
+RULE_BY_ID: Dict[str, Union[Rule, ProjectRule]] = {
+    rule.rule_id: rule for rule in (*ALL_RULES, *PROJECT_RULES)
+}
+
+__all__ = [
+    "ALL_RULES",
+    "PROJECT_RULES",
+    "RULE_BY_ID",
+    "CacheKeyPurity",
+    "Determinism",
+    "HotPathHygiene",
+    "KernelScalarParity",
+    "UnitsDiscipline",
+]

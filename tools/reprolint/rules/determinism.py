@@ -1,0 +1,162 @@
+"""RL002 — determinism in the simulation/characterization core.
+
+Campaign results are memoized content-addressed (``repro.vmin.cache``)
+and the orchestrator's merged output is golden-diffed byte for byte, so
+the modules listed in :data:`~reprolint.config.DETERMINISTIC_MODULES`
+must be bit-reproducible run to run. Flagged here:
+
+* **unseeded RNG construction** — ``random.Random()`` /
+  ``np.random.default_rng()`` with no arguments;
+* **global RNG streams** — module-level ``random.*`` /
+  ``np.random.*`` draws (any caller anywhere perturbs the stream);
+* **wall-clock reads** — ``time.time()``, ``datetime.now()`` …: their
+  values leak into results and cache payloads;
+* **set iteration** — iterating a ``set``/``frozenset`` literal or
+  constructor is hash-order dependent (and changes with
+  ``PYTHONHASHSEED``); sort first.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Tuple
+
+from ..astutil import ImportAliases, dotted_name
+from ..config import (
+    DETERMINISTIC_MODULES,
+    GLOBAL_NP_RANDOM_FUNCS,
+    GLOBAL_RANDOM_FUNCS,
+    WALL_CLOCK_CALLS,
+)
+from ..engine import Finding, Rule, SourceFile
+
+
+def in_deterministic_scope(module: str) -> bool:
+    """Whether a module must stay bit-reproducible."""
+    return any(
+        module == prefix or module.startswith(prefix + ".")
+        for prefix in DETERMINISTIC_MODULES
+    )
+
+
+class Determinism(Rule):
+    """RL002: no hidden nondeterminism in reproducible modules."""
+
+    rule_id = "RL002"
+    title = "determinism"
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        if source.is_test or not in_deterministic_scope(source.module):
+            return
+        aliases = ImportAliases(source.tree)
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(source, aliases, node)
+            elif isinstance(node, (ast.For, ast.comprehension)):
+                yield from self._check_set_iteration(source, node)
+
+    # -- RNG and wall-clock calls ---------------------------------------------
+
+    def _check_call(
+        self,
+        source: SourceFile,
+        aliases: ImportAliases,
+        node: ast.Call,
+    ) -> Iterator[Finding]:
+        origin = _call_origin(aliases, node.func)
+        if origin is None:
+            return
+        module, func = origin
+        if module == "random" and func == "Random" and not node.args:
+            yield self.finding(
+                source,
+                node,
+                "unseeded random.Random(): pass an explicit seed so "
+                "runs replay identically",
+            )
+        elif (
+            module in ("numpy.random", "random")
+            and func == "default_rng"
+            and not node.args
+        ):
+            yield self.finding(
+                source,
+                node,
+                "unseeded default_rng(): pass an explicit seed so "
+                "runs replay identically",
+            )
+        elif module == "random" and func in GLOBAL_RANDOM_FUNCS:
+            yield self.finding(
+                source,
+                node,
+                f"module-level random.{func}() draws from the shared "
+                "global stream; thread an explicit random.Random(seed)",
+            )
+        elif module == "numpy.random" and func in GLOBAL_NP_RANDOM_FUNCS:
+            yield self.finding(
+                source,
+                node,
+                f"np.random.{func}() uses numpy's global state; use a "
+                "seeded np.random.default_rng(seed)",
+            )
+        elif (module.split(".")[-1], func) in WALL_CLOCK_CALLS:
+            yield self.finding(
+                source,
+                node,
+                f"wall-clock read {module}.{func}() in a deterministic "
+                "module; results and cache keys must not depend on it",
+            )
+
+    # -- set iteration ---------------------------------------------------------
+
+    def _check_set_iteration(
+        self,
+        source: SourceFile,
+        node,
+    ) -> Iterator[Finding]:
+        iterable = node.iter
+        reason = _set_expression(iterable)
+        if reason is None:
+            return
+        target = iterable if isinstance(node, ast.comprehension) else node
+        yield self.finding(
+            source,
+            target,
+            f"iteration over {reason} is hash-order dependent (varies "
+            "with PYTHONHASHSEED); wrap it in sorted()",
+        )
+
+
+def _call_origin(
+    aliases: ImportAliases, func: ast.AST
+) -> Optional[Tuple[str, str]]:
+    """(origin module, function name) of a call target, if resolvable."""
+    name = dotted_name(func)
+    if name is None:
+        return None
+    parts = name.split(".")
+    head, rest = parts[0], parts[1:]
+    origin = aliases.module_of(head)
+    if origin is not None and rest:
+        return ".".join([origin] + rest[:-1]), rest[-1]
+    imported = aliases.object_of(head)
+    if imported is not None:
+        base, leaf = imported.rsplit(".", 1)
+        if not rest:
+            # from random import choice; choice(...)
+            return base, leaf
+        # from datetime import datetime; datetime.now(...)
+        return imported, rest[-1]
+    return None
+
+
+def _set_expression(node: ast.AST) -> Optional[str]:
+    """Describe ``node`` when it is a direct set expression."""
+    if isinstance(node, ast.Set):
+        return "a set literal"
+    if isinstance(node, ast.SetComp):
+        return "a set comprehension"
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        if node.func.id in ("set", "frozenset"):
+            return f"{node.func.id}(...)"
+    return None

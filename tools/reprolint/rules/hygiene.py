@@ -1,0 +1,114 @@
+"""RL005 — hot-path hygiene.
+
+Two checks for the simulation/kernel hot paths:
+
+* **slots** — dataclasses in the hot modules (``repro.sim``,
+  ``repro.kernels``) are allocated per event / per grid; they must
+  declare ``slots=True`` to skip the per-instance ``__dict__``.
+* **float equality** — ``==`` / ``!=`` between floats is
+  representation-dependent; outside tests, compare with a tolerance
+  (``math.isclose``) or an ordered bound (``<=``). Flagged when either
+  side is a float literal with a fractional part or a name/attribute
+  carrying a float-typical unit suffix next to a float literal.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from ..astutil import decorator_name
+from ..config import HOT_DATACLASS_MODULES
+from ..engine import Finding, Rule, SourceFile
+
+
+def _in_hot_scope(module: str) -> bool:
+    return any(
+        module == prefix or module.startswith(prefix + ".")
+        for prefix in HOT_DATACLASS_MODULES
+    )
+
+
+class HotPathHygiene(Rule):
+    """RL005: slots on hot dataclasses; no ``==`` on floats."""
+
+    rule_id = "RL005"
+    title = "hot-path hygiene"
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        if source.is_test:
+            return
+        hot = _in_hot_scope(source.module)
+        for node in ast.walk(source.tree):
+            if hot and isinstance(node, ast.ClassDef):
+                yield from self._check_slots(source, node)
+            elif isinstance(node, ast.Compare):
+                yield from self._check_float_eq(source, node)
+
+    # -- dataclass slots -------------------------------------------------------
+
+    def _check_slots(
+        self, source: SourceFile, node: ast.ClassDef
+    ) -> Iterator[Finding]:
+        decorator = _dataclass_decorator(node)
+        if decorator is None:
+            return
+        if isinstance(decorator, ast.Call):
+            for keyword in decorator.keywords:
+                if keyword.arg == "slots":
+                    value = keyword.value
+                    if (
+                        isinstance(value, ast.Constant)
+                        and value.value is True
+                    ):
+                        return
+                    break
+        yield self.finding(
+            source,
+            node,
+            f"hot-path dataclass `{node.name}` must declare "
+            "@dataclass(..., slots=True)",
+        )
+
+    # -- float equality --------------------------------------------------------
+
+    def _check_float_eq(
+        self, source: SourceFile, node: ast.Compare
+    ) -> Iterator[Finding]:
+        operands = [node.left, *node.comparators]
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            literal = _float_literal(left) or _float_literal(right)
+            if literal is None:
+                continue
+            sign = "==" if isinstance(op, ast.Eq) else "!="
+            yield self.finding(
+                source,
+                node,
+                f"float `{sign} {literal}` comparison is "
+                "representation-dependent; use math.isclose() or an "
+                "ordered bound (`<=`)",
+            )
+            return
+
+
+def _dataclass_decorator(node: ast.ClassDef) -> Optional[ast.AST]:
+    for dec in node.decorator_list:
+        if decorator_name(dec) == "dataclass":
+            return dec
+    return None
+
+
+def _float_literal(node: ast.AST) -> Optional[str]:
+    """Display form of a float constant operand, else ``None``."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, float):
+        return repr(node.value)
+    if isinstance(node, ast.UnaryOp) and isinstance(
+        node.op, (ast.USub, ast.UAdd)
+    ):
+        inner = _float_literal(node.operand)
+        if inner is not None:
+            sign = "-" if isinstance(node.op, ast.USub) else "+"
+            return f"{sign}{inner}"
+    return None

@@ -1,0 +1,286 @@
+"""RL003 — kernel/scalar parity registry.
+
+The batched kernels (``repro.kernels``) mirror the scalar models point
+for point; benchmarks and the sweep tests rely on that contract. To
+keep it from silently eroding, ``src/repro/kernels/parity.py`` holds an
+explicit registry:
+
+* ``PARITY`` — scalar callable -> its batched kernel mirror;
+* ``SCALAR_ONLY`` — scalar callables with **no** kernel mirror, each
+  with a written reason (registration side effects, object-returning
+  helpers, conveniences already folded into a grid kernel, ...).
+
+This project rule statically cross-checks the registry against the
+actual source: every public scalar callable in the model modules must
+appear in exactly one of the two tables, every ``PARITY`` value must
+name a function that exists in ``repro.kernels``, stale entries are
+flagged at their registry line, and every ``SCALAR_ONLY`` entry must
+carry a non-empty reason.
+
+Enumerated as "public scalar callables": module-level ``def``s and
+plain instance methods of non-dataclass classes. Skipped: ``_private``
+names, dunders, ``@property``/``@cached_property`` accessors, and
+``@classmethod``/``@staticmethod`` constructors — none of those are
+per-point numeric evaluations a grid kernel could mirror.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, Iterator, NamedTuple, Optional, Set
+
+from ..astutil import decorator_name
+from ..config import (
+    KERNELS_PACKAGE_NAME,
+    KERNELS_PACKAGE_PATH,
+    PARITY_REGISTRY_PATH,
+    SCALAR_MODEL_MODULES,
+)
+from ..engine import Finding, ProjectRule
+
+#: Method decorators excluded from the scalar-API enumeration.
+_NON_SCALAR_DECORATORS = {
+    "property",
+    "cached_property",
+    "classmethod",
+    "staticmethod",
+}
+
+
+class _Entry(NamedTuple):
+    """One registry dict entry with the value and both source anchors."""
+
+    value: object
+    key_line: int
+    key_col: int
+    value_line: int
+    value_col: int
+
+
+class _Registry(NamedTuple):
+    parity: Dict[str, _Entry]
+    scalar_only: Dict[str, _Entry]
+
+
+class KernelScalarParity(ProjectRule):
+    """RL003: the parity registry must match the code, both ways."""
+
+    rule_id = "RL003"
+    title = "kernel/scalar parity"
+
+    def check_project(self, root: Path) -> Iterator[Finding]:
+        registry_path = root / PARITY_REGISTRY_PATH
+        registry = _load_registry(registry_path)
+        if registry is None:
+            yield _finding(
+                registry_path,
+                1,
+                0,
+                "parity registry missing: expected PARITY and "
+                f"SCALAR_ONLY dict literals in {PARITY_REGISTRY_PATH}",
+            )
+            return
+
+        scalars = _enumerate_scalars(root)
+        kernels = _enumerate_kernels(root)
+
+        registered = set(registry.parity) | set(registry.scalar_only)
+        for name, site in sorted(scalars.items()):
+            if name not in registered:
+                yield _finding(
+                    site.path,
+                    site.line,
+                    site.col,
+                    f"public scalar callable `{name}` is not in the "
+                    "parity registry; add a PARITY kernel mirror or a "
+                    "SCALAR_ONLY entry with a reason",
+                )
+
+        for name, entry in sorted(registry.parity.items()):
+            if name in registry.scalar_only:
+                yield _finding(
+                    registry_path,
+                    entry.key_line,
+                    entry.key_col,
+                    f"`{name}` appears in both PARITY and SCALAR_ONLY; "
+                    "pick one",
+                )
+            if name not in scalars:
+                yield _finding(
+                    registry_path,
+                    entry.key_line,
+                    entry.key_col,
+                    f"stale PARITY entry: `{name}` is not a public "
+                    "scalar callable of the model modules",
+                )
+            if not isinstance(entry.value, str):
+                yield _finding(
+                    registry_path,
+                    entry.value_line,
+                    entry.value_col,
+                    f"PARITY[{name!r}] must be a dotted kernel name "
+                    "string",
+                )
+            elif entry.value not in kernels:
+                yield _finding(
+                    registry_path,
+                    entry.value_line,
+                    entry.value_col,
+                    f"PARITY[{name!r}] points at `{entry.value}`, "
+                    f"which is not a function defined under "
+                    f"{KERNELS_PACKAGE_NAME}",
+                )
+
+        for name, entry in sorted(registry.scalar_only.items()):
+            if name not in scalars:
+                yield _finding(
+                    registry_path,
+                    entry.key_line,
+                    entry.key_col,
+                    f"stale SCALAR_ONLY entry: `{name}` is not a "
+                    "public scalar callable of the model modules",
+                )
+            if not (
+                isinstance(entry.value, str) and entry.value.strip()
+            ):
+                yield _finding(
+                    registry_path,
+                    entry.value_line,
+                    entry.value_col,
+                    f"SCALAR_ONLY[{name!r}] needs a non-empty reason "
+                    "explaining why no kernel mirror exists",
+                )
+
+
+class _ScalarSite(NamedTuple):
+    path: Path
+    line: int
+    col: int
+
+
+def _finding(path: Path, line: int, col: int, message: str) -> Finding:
+    return Finding(
+        rule_id=KernelScalarParity.rule_id,
+        path=str(path),
+        line=line,
+        col=col,
+        message=message,
+    )
+
+
+def _load_registry(path: Path) -> Optional[_Registry]:
+    """Parse PARITY / SCALAR_ONLY dict literals out of the registry."""
+    try:
+        tree = ast.parse(path.read_text(encoding="utf-8"), str(path))
+    except (OSError, SyntaxError):
+        return None
+    tables: Dict[str, Dict[str, _Entry]] = {}
+    for node in tree.body:
+        targets = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+            value = node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+            value = node.value
+        else:
+            continue
+        for target in targets:
+            if not isinstance(target, ast.Name):
+                continue
+            if target.id not in ("PARITY", "SCALAR_ONLY"):
+                continue
+            if not isinstance(value, ast.Dict):
+                continue
+            table: Dict[str, _Entry] = {}
+            for key, val in zip(value.keys, value.values):
+                if not (
+                    isinstance(key, ast.Constant)
+                    and isinstance(key.value, str)
+                ):
+                    continue
+                literal: object = (
+                    val.value if isinstance(val, ast.Constant) else None
+                )
+                table[key.value] = _Entry(
+                    value=literal,
+                    key_line=key.lineno,
+                    key_col=key.col_offset,
+                    value_line=val.lineno,
+                    value_col=val.col_offset,
+                )
+            tables[target.id] = table
+    if "PARITY" not in tables or "SCALAR_ONLY" not in tables:
+        return None
+    return _Registry(
+        parity=tables["PARITY"], scalar_only=tables["SCALAR_ONLY"]
+    )
+
+
+def _enumerate_scalars(root: Path) -> Dict[str, _ScalarSite]:
+    """Public scalar callables of the model modules, keyed by full name."""
+    scalars: Dict[str, _ScalarSite] = {}
+    for module, rel_path in sorted(SCALAR_MODEL_MODULES.items()):
+        path = root / rel_path
+        try:
+            tree = ast.parse(path.read_text(encoding="utf-8"), str(path))
+        except (OSError, SyntaxError):
+            continue
+        for node in tree.body:
+            if isinstance(node, ast.FunctionDef):
+                if node.name.startswith("_"):
+                    continue
+                scalars[f"{module}.{node.name}"] = _ScalarSite(
+                    path, node.lineno, node.col_offset
+                )
+            elif isinstance(node, ast.ClassDef):
+                if node.name.startswith("_") or _is_dataclass(node):
+                    continue
+                for item in node.body:
+                    if not isinstance(item, ast.FunctionDef):
+                        continue
+                    if item.name.startswith("_"):
+                        continue
+                    if _method_decorators(item) & _NON_SCALAR_DECORATORS:
+                        continue
+                    name = f"{module}.{node.name}.{item.name}"
+                    scalars[name] = _ScalarSite(
+                        path, item.lineno, item.col_offset
+                    )
+    return scalars
+
+
+def _enumerate_kernels(root: Path) -> Set[str]:
+    """Dotted names of every function defined in the kernels package."""
+    names: Set[str] = set()
+    package = root / KERNELS_PACKAGE_PATH
+    for path in sorted(package.glob("*.py")):
+        try:
+            tree = ast.parse(path.read_text(encoding="utf-8"), str(path))
+        except (OSError, SyntaxError):
+            continue
+        if path.stem == "__init__":
+            prefix = KERNELS_PACKAGE_NAME
+        else:
+            prefix = f"{KERNELS_PACKAGE_NAME}.{path.stem}"
+        for node in tree.body:
+            if isinstance(node, ast.FunctionDef):
+                names.add(f"{prefix}.{node.name}")
+    return names
+
+
+def _is_dataclass(node: ast.ClassDef) -> bool:
+    return any(
+        decorator_name(dec) == "dataclass" for dec in node.decorator_list
+    )
+
+
+def _method_decorators(node: ast.FunctionDef) -> Set[str]:
+    return {
+        name
+        for name in (
+            decorator_name(dec) for dec in node.decorator_list
+        )
+        if name is not None
+    }

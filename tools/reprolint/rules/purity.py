@@ -1,0 +1,130 @@
+"""RL004 — cache-key purity.
+
+The Vmin cache is content-addressed: a key must be a pure function of
+its inputs, or two runs with identical specs silently read different
+cache entries (or worse, the same entry for different work). Functions
+marked ``@cache_key_producer`` therefore may not:
+
+* read environment variables (``os.environ``, ``os.getenv``);
+* read wall-clock or monotonic time;
+* read module-level mutable state via ``global`` declarations.
+
+The decorator itself (defined in ``repro.vmin.cache``) is a no-op
+marker at runtime; its entire value is making this rule checkable.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from ..astutil import ImportAliases, decorator_name, dotted_name
+from ..config import CACHE_KEY_DECORATOR, WALL_CLOCK_CALLS
+from ..engine import Finding, Rule, SourceFile
+
+
+class CacheKeyPurity(Rule):
+    """RL004: ``@cache_key_producer`` functions must be pure."""
+
+    rule_id = "RL004"
+    title = "cache-key purity"
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        aliases = ImportAliases(source.tree)
+        for node in ast.walk(source.tree):
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue
+            if not any(
+                decorator_name(dec) == CACHE_KEY_DECORATOR
+                for dec in node.decorator_list
+            ):
+                continue
+            yield from self._check_body(source, aliases, node)
+
+    def _check_body(
+        self,
+        source: SourceFile,
+        aliases: ImportAliases,
+        func: ast.AST,
+    ) -> Iterator[Finding]:
+        # `os.environ.get(...)` matches as a call AND as nested
+        # attribute reads, all anchored at the same column — report one
+        # finding per location.
+        seen = set()
+        for node in ast.walk(func):
+            anchor = (
+                getattr(node, "lineno", 0),
+                getattr(node, "col_offset", -1),
+            )
+            if anchor in seen:
+                continue
+            if isinstance(node, ast.Global):
+                seen.add(anchor)
+                yield self.finding(
+                    source,
+                    node,
+                    f"cache-key producer `{func.name}` declares "
+                    f"`global {', '.join(node.names)}`: keys must be "
+                    "pure functions of their arguments",
+                )
+            elif isinstance(node, ast.Call):
+                impurity = self._call_impurity(aliases, node)
+                if impurity is not None:
+                    seen.add(anchor)
+                    yield self.finding(
+                        source,
+                        node,
+                        f"cache-key producer `{func.name}` {impurity}; "
+                        "keys must be pure functions of their arguments",
+                    )
+            elif isinstance(node, (ast.Attribute, ast.Subscript)):
+                env = self._environ_read(aliases, node)
+                if env is not None:
+                    seen.add(anchor)
+                    yield self.finding(
+                        source,
+                        node,
+                        f"cache-key producer `{func.name}` reads "
+                        f"{env}; keys must be pure functions of their "
+                        "arguments",
+                    )
+
+    def _call_impurity(
+        self, aliases: ImportAliases, node: ast.Call
+    ) -> Optional[str]:
+        name = dotted_name(node.func)
+        if name is None:
+            return None
+        parts = name.split(".")
+        head = aliases.module_of(parts[0]) or parts[0]
+        resolved = ".".join([head] + parts[1:])
+        leaf = parts[-1]
+        base = resolved.rsplit(".", 1)[0].split(".")[-1] if len(
+            resolved.split(".")
+        ) > 1 else ""
+        if (base, leaf) in WALL_CLOCK_CALLS:
+            return f"calls wall-clock `{resolved}()`"
+        if resolved in ("os.getenv", "os.environ.get"):
+            return f"calls `{resolved}()` (environment read)"
+        imported = aliases.object_of(parts[0])
+        if imported == "os.getenv":
+            return "calls `os.getenv()` (environment read)"
+        return None
+
+    def _environ_read(
+        self, aliases: ImportAliases, node: ast.AST
+    ) -> Optional[str]:
+        target = node.value if isinstance(node, ast.Subscript) else node
+        name = dotted_name(target)
+        if name is None:
+            return None
+        parts = name.split(".")
+        head = aliases.module_of(parts[0]) or parts[0]
+        resolved = ".".join([head] + parts[1:])
+        if resolved == "os.environ" or resolved.startswith("os.environ."):
+            return "`os.environ`"
+        if aliases.object_of(parts[0]) == "os.environ":
+            return "`os.environ`"
+        return None

@@ -1,0 +1,147 @@
+"""RL001 — units discipline.
+
+The library's unit conventions (mV / Hz / W, see ``repro.units``) only
+survive if conversions stay explicit. Two checks:
+
+* **magic conversions** — ``freq / 1e9``, ``voltage * 1000`` and
+  friends: a bare power-of-ten next to a unit-bearing name silently
+  re-scales a physical quantity. Route it through a ``repro.units``
+  helper (``hz_to_ghz``, ``ghz``, ``mhz``, ``mv_to_v``, ``v_to_mv``)
+  or the named constants (``MHZ``, ``GHZ``).
+* **suffix contradictions** — calling a helper with an argument whose
+  unit suffix contradicts the helper's input unit, e.g.
+  ``mv_to_v(rail_v)`` or ``hz_to_ghz(freq_ghz)``: one of the two is
+  lying about its unit.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..astutil import expr_identifier, name_tokens, unit_suffix
+from ..config import (
+    HELPER_FORBIDDEN_SUFFIXES,
+    MAGIC_FACTORS,
+    UNIT_SUFFIXES,
+    UNIT_TOKENS,
+    UNITS_EXEMPT_MODULES,
+)
+from ..engine import Finding, Rule, SourceFile
+
+#: Suggested helper per (unit family, factor, operation) — the message
+#: names the idiomatic replacement where one exists.
+_SUGGESTIONS = {
+    ("freq", 1e9, "div"): "repro.units.hz_to_ghz()",
+    ("freq", 1e9, "mult"): "repro.units.ghz() or `* repro.units.GHZ`",
+    ("freq", 1e6, "mult"): "repro.units.mhz() or `* repro.units.MHZ`",
+    ("freq", 1e6, "div"): "`/ repro.units.MHZ`",
+    ("volt", 1e3, "div"): "repro.units.mv_to_v()",
+    ("volt", 1e3, "mult"): "repro.units.v_to_mv()",
+    ("volt", 1e-3, "mult"): "repro.units.mv_to_v()",
+}
+
+
+def _unit_family(identifier: str) -> str:
+    tokens = set(name_tokens(identifier))
+    if tokens & {"mv", "volt", "volts", "voltage", "voltages"}:
+        return "volt"
+    if tokens & {"watt", "watts", "power"}:
+        return "power"
+    return "freq"
+
+
+def _is_unit_bearing(identifier: str) -> bool:
+    return bool(set(name_tokens(identifier)) & UNIT_TOKENS)
+
+
+class UnitsDiscipline(Rule):
+    """RL001: unit conversions must go through ``repro.units``."""
+
+    rule_id = "RL001"
+    title = "units discipline"
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        if source.module in UNITS_EXEMPT_MODULES:
+            return
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.Mult, ast.Div)
+            ):
+                yield from self._check_magic(source, node)
+            elif isinstance(node, ast.Call):
+                yield from self._check_suffix(source, node)
+
+    # -- magic power-of-ten conversions ---------------------------------------
+
+    def _check_magic(
+        self, source: SourceFile, node: ast.BinOp
+    ) -> Iterator[Finding]:
+        pairs = [(node.left, node.right), (node.right, node.left)]
+        if isinstance(node.op, ast.Div):
+            # Only `value / factor` re-scales; `factor / value` is a
+            # rate inversion, not a unit conversion.
+            pairs = [(node.left, node.right)]
+        for value_node, factor_node in pairs:
+            factor = _const_factor(factor_node)
+            if factor is None or factor not in MAGIC_FACTORS:
+                continue
+            identifier = expr_identifier(value_node)
+            if identifier is None or not _is_unit_bearing(identifier):
+                continue
+            op = "div" if isinstance(node.op, ast.Div) else "mult"
+            family = _unit_family(identifier)
+            suggestion = _SUGGESTIONS.get((family, factor, op))
+            hint = f"; use {suggestion}" if suggestion else (
+                "; use a repro.units helper or named constant"
+            )
+            op_char = "/" if op == "div" else "*"
+            yield self.finding(
+                source,
+                node,
+                f"magic unit conversion `{identifier} {op_char} "
+                f"{_format_factor(factor)}`{hint}",
+            )
+            return
+
+    # -- helper argument suffix contradictions --------------------------------
+
+    def _check_suffix(
+        self, source: SourceFile, node: ast.Call
+    ) -> Iterator[Finding]:
+        helper = expr_identifier(node.func)
+        forbidden = HELPER_FORBIDDEN_SUFFIXES.get(helper or "")
+        if forbidden is None or not node.args:
+            return
+        arg = node.args[0]
+        # Only bare names/attributes carry a meaningful suffix; a call
+        # like `fmt_freq(ghz(2.4))` is the *correct* idiom (ghz()
+        # returns Hz), so its callee name proves nothing.
+        if not isinstance(arg, (ast.Name, ast.Attribute)):
+            return
+        identifier = expr_identifier(arg)
+        if identifier is None:
+            return
+        suffix = unit_suffix(identifier)
+        if suffix in UNIT_SUFFIXES and suffix in forbidden:
+            yield self.finding(
+                source,
+                node,
+                f"`{helper}({identifier})`: argument suffix "
+                f"`_{suffix}` contradicts the helper's input unit",
+            )
+
+
+def _const_factor(node: ast.AST):
+    """Positive power-of-ten constant value, or None."""
+    if isinstance(node, ast.Constant) and isinstance(
+        node.value, (int, float)
+    ) and not isinstance(node.value, bool):
+        return float(node.value)
+    return None
+
+
+def _format_factor(factor: float) -> str:
+    if factor >= 1:
+        return str(int(factor))
+    return f"{factor:g}"
