@@ -8,12 +8,18 @@ Usage::
     repro table3 --duration 600 --seed 7
     repro all --duration 600
     repro run-all --jobs 4 --cache-dir ~/.cache/repro-vmin
+    repro run-all --summary-json manifest.json
+    repro telemetry check manifest.json --min-hit-rate 0.5
 
 Each experiment prints the same rows/series the paper reports.
 ``run-all`` fans the whole registry out over a process pool with
 memoized Vmin characterization: experiment output goes to stdout (in
 canonical registry order, byte-identical for any ``--jobs`` value) and
 the per-experiment timing/cache-hit summary table goes to stderr.
+``--summary-json PATH`` additionally collects telemetry and writes the
+run manifest there; the ``repro telemetry`` subcommand family
+(``dump``/``summarize``/``diff``/``check``) inspects and gates those
+manifests (see :mod:`repro.telemetry.cli`).
 """
 
 from __future__ import annotations
@@ -104,11 +110,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="on-disk Vmin characterization cache shared across "
         "processes and invocations (default: in-memory only)",
     )
+    parser.add_argument(
+        "--summary-json",
+        default=None,
+        metavar="PATH",
+        help="for 'run-all'/'all': collect telemetry and write the run "
+        "manifest (schema-validated JSON) to PATH",
+    )
     return parser
 
 
 def _run_all(args: argparse.Namespace, names: List[str]) -> int:
     """Orchestrated batch: output on stdout, summary table on stderr."""
+    summary_json = getattr(args, "summary_json", None)
     summary = orchestrator.run_experiments(
         names=names,
         jobs=args.jobs,
@@ -116,15 +130,41 @@ def _run_all(args: argparse.Namespace, names: List[str]) -> int:
         duration_s=args.duration,
         seed=args.seed,
         cache_dir=args.cache_dir,
+        collect_telemetry=summary_json is not None,
     )
     sys.stdout.write(summary.merged_output())
     sys.stdout.flush()
     print(summary.format_table(), file=sys.stderr)
+    if summary_json is not None:
+        from . import telemetry
+
+        manifest = telemetry.build_manifest(
+            summary,
+            platform=args.platform,
+            duration_s=args.duration,
+            seed=args.seed,
+            cache_dir=args.cache_dir,
+        )
+        errors = telemetry.validate_manifest(manifest)
+        if errors:  # pragma: no cover - guards schema drift
+            for error in errors:
+                print(f"repro: manifest invalid: {error}", file=sys.stderr)
+            return 1
+        telemetry.write_manifest(manifest, summary_json)
+        print(f"run manifest written to {summary_json}", file=sys.stderr)
     return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "telemetry":
+        # Manifest tooling has its own subcommand tree; dispatch before
+        # the experiment parser so its choices stay experiment-shaped.
+        from .telemetry.cli import telemetry_main
+
+        return telemetry_main(argv[1:])
     args = build_parser().parse_args(argv)
     try:
         if args.experiment == "list":

@@ -22,7 +22,9 @@ from __future__ import annotations
 
 from typing import Optional, Tuple
 
+from .. import telemetry
 from ..platform.specs import ChipSpec
+from ..telemetry import names as metric_names
 from ..sim.governor import OndemandGovernor
 from ..sim.process import SimProcess
 from ..sim.system import Controller
@@ -80,6 +82,7 @@ class OnlineMonitoringDaemon(Controller):
         replan in :meth:`on_process_started` moves it to its proper slot.
         """
         self.engine.raise_for_arrival(self.system, process.nthreads)
+        telemetry.inc(metric_names.DAEMON_PLACEMENTS)
         return None
 
     def on_process_started(self, process: SimProcess) -> None:
@@ -102,6 +105,7 @@ class OnlineMonitoringDaemon(Controller):
             plan = self.engine.retune(self.system.running_processes())
             self.engine.apply(self.system, plan)
             self.retunes += 1
+            telemetry.inc(metric_names.DAEMON_RETUNES)
 
     # -- internals ------------------------------------------------------------------
 
@@ -109,6 +113,7 @@ class OnlineMonitoringDaemon(Controller):
         plan = self.engine.plan(self.system.running_processes())
         self.engine.apply(self.system, plan)
         self.replans += 1
+        telemetry.inc(metric_names.DAEMON_REPLANS)
 
 
 class SafeVminController(Controller):

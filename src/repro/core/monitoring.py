@@ -14,8 +14,10 @@ import random
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
+from .. import telemetry
 from ..errors import ConfigurationError
 from ..sim.process import SimProcess, WorkloadClass
+from ..telemetry import names as metric_names
 from ..sim.system import ServerSystem
 from .classifier import ClassificationSample, L3RateClassifier
 
@@ -111,6 +113,7 @@ class MonitoringDaemon:
             rate = 1e6 * daccesses / dcycles
             self._snapshots[process.pid] = (cycles, accesses)
             self.samples_taken += 1
+            telemetry.inc(metric_names.DAEMON_CLASSIFICATIONS)
             sample = self.classifier.classify(rate, process.observed_class)
             if sample.decided is not process.observed_class:
                 was_known = (
@@ -119,6 +122,7 @@ class MonitoringDaemon:
                 process.observed_class = sample.decided
                 if was_known or sample.decided is not WorkloadClass.CPU_INTENSIVE:
                     changes.append(ClassChange(process, sample))
+                    telemetry.inc(metric_names.DAEMON_CLASS_FLIPS)
                 elif sample.decided is WorkloadClass.CPU_INTENSIVE:
                     # UNKNOWN -> CPU is not a behavioural change: new
                     # processes are already treated as CPU-intensive

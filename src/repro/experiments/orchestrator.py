@@ -30,8 +30,11 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from .. import telemetry
 from ..analysis.tables import format_table
 from ..errors import ConfigurationError
+from ..telemetry import names as metric_names
+from ..telemetry.metrics import Snapshot
 from ..vmin.cache import (
     CacheStats,
     ensure_default_cache,
@@ -55,6 +58,9 @@ class ExperimentOutcome:
     output: str
     elapsed_s: float
     cache: CacheStats
+    #: Telemetry snapshot of this experiment's execution, present only
+    #: when the batch ran with ``collect_telemetry=True``.
+    metrics: Optional[Snapshot] = None
 
     @property
     def cache_hit_rate(self) -> float:
@@ -69,6 +75,9 @@ class RunSummary:
     jobs: int
     elapsed_s: float
     outcomes: List[ExperimentOutcome] = field(default_factory=list)
+    #: Run-level telemetry snapshot (orchestrator counters and the run
+    #: span), present only when ``collect_telemetry=True``.
+    metrics: Optional[Snapshot] = None
 
     def outcome(self, name: str) -> ExperimentOutcome:
         """Outcome of one experiment by name."""
@@ -147,6 +156,7 @@ def _execute(
     duration_s: float,
     seed: int,
     cache_dir: Optional[str],
+    collect_telemetry: bool = False,
 ) -> ExperimentOutcome:
     """Run one experiment in the current process (pool worker body)."""
     ensure_default_cache(cache_dir)
@@ -155,8 +165,23 @@ def _execute(
     renderer = getattr(module, entry.render_name)
     cache = get_default_cache()
     before = cache.stats.snapshot()
+    metrics: Optional[Snapshot] = None
     started = time.perf_counter()
-    output = renderer(platform=platform, duration_s=duration_s, seed=seed)
+    if collect_telemetry:
+        # Fresh registry per experiment, so the snapshot attributes
+        # every metric to exactly one experiment even when several run
+        # in the same worker process.
+        with telemetry.session() as registry:
+            with telemetry.span(metric_names.ORCH_EXPERIMENT_SPAN):
+                output = renderer(
+                    platform=platform, duration_s=duration_s, seed=seed
+                )
+            cache.publish_telemetry()
+            metrics = registry.snapshot()
+    else:
+        output = renderer(
+            platform=platform, duration_s=duration_s, seed=seed
+        )
     elapsed = time.perf_counter() - started
     return ExperimentOutcome(
         name=entry.name,
@@ -164,6 +189,7 @@ def _execute(
         output=output,
         elapsed_s=elapsed,
         cache=cache.stats.delta(before),
+        metrics=metrics,
     )
 
 
@@ -185,6 +211,7 @@ def run_experiments(
     duration_s: float = 600.0,
     seed: int = 0,
     cache_dir: Optional[str] = None,
+    collect_telemetry: bool = False,
 ) -> RunSummary:
     """Run a batch of experiments, optionally across worker processes.
 
@@ -193,6 +220,12 @@ def run_experiments(
     requested order, independent of scheduling. ``jobs=1`` runs
     everything in-process; higher values fan independent experiments
     out over a process pool while dependents wait for their inputs.
+
+    With ``collect_telemetry=True`` every experiment carries a metric
+    snapshot (:attr:`ExperimentOutcome.metrics`) and the summary carries
+    the orchestrator-level snapshot (:attr:`RunSummary.metrics`) —
+    queue depth and busy-worker samples, the completed-experiment
+    counter and the run wall-time span.
     """
     if jobs < 1:
         raise ConfigurationError("jobs must be >= 1")
@@ -202,21 +235,54 @@ def run_experiments(
     schedule = topological_order(requested)
     registry_index = {entry.name: i for i, entry in enumerate(REGISTRY)}
     started = time.perf_counter()
-    outcomes: Dict[str, ExperimentOutcome] = {}
-    if jobs == 1 or len(schedule) == 1:
-        for entry in schedule:
-            outcomes[entry.name] = _execute(
-                entry.name, platform, duration_s, seed, cache_dir
-            )
+    run_metrics: Optional[Snapshot] = None
+    if collect_telemetry:
+        with telemetry.session() as registry:
+            with telemetry.span(metric_names.ORCH_RUN_SPAN):
+                outcomes = _run_schedule(
+                    schedule, jobs, platform, duration_s, seed, cache_dir,
+                    registry_index, True,
+                )
+            run_metrics = registry.snapshot()
     else:
-        outcomes = _run_pool(
+        outcomes = _run_schedule(
             schedule, jobs, platform, duration_s, seed, cache_dir,
-            registry_index,
+            registry_index, False,
         )
     return RunSummary(
         jobs=jobs,
         elapsed_s=time.perf_counter() - started,
         outcomes=[outcomes[name] for name in requested],
+        metrics=run_metrics,
+    )
+
+
+def _run_schedule(
+    schedule: List[ExperimentEntry],
+    jobs: int,
+    platform: Optional[str],
+    duration_s: float,
+    seed: int,
+    cache_dir: Optional[str],
+    registry_index: Dict[str, int],
+    collect_telemetry: bool,
+) -> Dict[str, ExperimentOutcome]:
+    """Dispatch ``schedule`` serially or over the pool."""
+    if jobs == 1 or len(schedule) == 1:
+        outcomes: Dict[str, ExperimentOutcome] = {}
+        for i, entry in enumerate(schedule):
+            telemetry.observe(
+                metric_names.ORCH_QUEUE_DEPTH, len(schedule) - i
+            )
+            outcomes[entry.name] = _execute(
+                entry.name, platform, duration_s, seed, cache_dir,
+                collect_telemetry,
+            )
+            telemetry.inc(metric_names.ORCH_EXPERIMENTS_COMPLETED)
+        return outcomes
+    return _run_pool(
+        schedule, jobs, platform, duration_s, seed, cache_dir,
+        registry_index, collect_telemetry,
     )
 
 
@@ -228,6 +294,7 @@ def _run_pool(
     seed: int,
     cache_dir: Optional[str],
     registry_index: Dict[str, int],
+    collect_telemetry: bool = False,
 ) -> Dict[str, ExperimentOutcome]:
     """Topological fan-out of ``schedule`` over a process pool."""
     chosen = {entry.name for entry in schedule}
@@ -249,13 +316,20 @@ def _run_pool(
             for name in ready:
                 del waiting[name]
                 future = pool.submit(
-                    _execute, name, platform, duration_s, seed, cache_dir
+                    _execute, name, platform, duration_s, seed, cache_dir,
+                    collect_telemetry,
                 )
                 running[future] = name
+            # Scheduler-health samples; completion-order dependent, so
+            # they are histogram shapes, never part of any fingerprint
+            # comparison between differently-scheduled runs.
+            telemetry.observe(metric_names.ORCH_QUEUE_DEPTH, len(waiting))
+            telemetry.observe(metric_names.ORCH_INFLIGHT, len(running))
             done, _ = wait(set(running), return_when=FIRST_COMPLETED)
             for future in done:
                 name = running.pop(future)
                 outcomes[name] = future.result()
+                telemetry.inc(metric_names.ORCH_EXPERIMENTS_COMPLETED)
                 for deps in waiting.values():
                     deps.discard(name)
     return outcomes

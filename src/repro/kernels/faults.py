@@ -21,6 +21,8 @@ from typing import Tuple
 
 import numpy as np
 
+from .. import telemetry
+from ..telemetry import names as metric_names
 from ..vmin.faults import (
     FAULT_OUTCOMES,
     OUTCOME_CRASH,
@@ -67,6 +69,7 @@ def pfail_grid(
     depth = np.asarray(safe_vmin_mv, dtype=np.float64) - np.asarray(
         voltage_mv
     )
+    telemetry.observe(metric_names.KERNELS_FAULTS_BATCH, depth.size)
     x = depth / width_mv_grid(fault_model, droop_class)
     smooth = x * x * (3.0 - 2.0 * x)
     return np.where(x <= 0.0, 0.0, np.where(x >= 1.0, 1.0, smooth))

@@ -21,8 +21,10 @@ from typing import Any, Iterable, Sequence, Union
 
 import numpy as np
 
+from .. import telemetry
 from ..errors import ConfigurationError
 from ..power.model import PowerModel
+from ..telemetry import names as metric_names
 
 #: One active-core set: any iterable of core ids.
 CoreSet = Iterable[int]
@@ -90,6 +92,7 @@ def chip_power_grid(
     Totals are bit-for-bit identical to the scalar evaluation.
     """
     n = len(active_core_sets)
+    telemetry.observe(metric_names.KERNELS_POWER_BATCH, n)
     spec = power_model.spec
     params = power_model.params
     voltage = _as_array(voltage_mv, n, "voltage_mv")

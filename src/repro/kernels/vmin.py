@@ -22,7 +22,9 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from .. import telemetry
 from ..platform.specs import FrequencyClass
+from ..telemetry import names as metric_names
 from ..vmin.droop import droop_bin_index
 from ..vmin.model import VminModel, variation_attenuation
 
@@ -132,6 +134,7 @@ def evaluate_grid(
         core_sets = core_sets * n
     freqs = _as_list(freq_hz, n, "freq_hz")
     deltas = _as_list(workload_delta_mv, n, "workload_delta_mv")
+    telemetry.observe(metric_names.KERNELS_VMIN_BATCH, n)
 
     compile_ = compiler or _PointCompiler(model)
     base = np.empty(n, dtype=np.float64)

@@ -35,6 +35,11 @@ class EventQueue:
         self._seq = itertools.count()
         self._cancelled: set[int] = set()
         self._pending: set[int] = set()
+        #: Lifetime schedule/cancel counts; plain ints so the hot loop
+        #: stays allocation-free. The simulator flushes them into the
+        #: telemetry registry at end of run.
+        self.scheduled_total = 0
+        self.cancelled_total = 0
 
     def __len__(self) -> int:
         return len(self._pending)
@@ -50,6 +55,7 @@ class EventQueue:
                       payload=payload)
         heapq.heappush(self._heap, event)
         self._pending.add(event.seq)
+        self.scheduled_total += 1
         return event
 
     def cancel(self, event: Event) -> None:
@@ -57,6 +63,7 @@ class EventQueue:
         if event.seq in self._pending:
             self._cancelled.add(event.seq)
             self._pending.discard(event.seq)
+            self.cancelled_total += 1
 
     def peek_time(self) -> Optional[float]:
         """Time of the next live event, or ``None`` when empty."""

@@ -21,8 +21,10 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
+from .. import telemetry
 from ..errors import SimulationError, SystemCrash
 from ..perf.contention import bandwidth_utilization, contention_factor
+from ..telemetry import names as metric_names
 from ..perf.model import ExecutionState, bandwidth_demand_gbs, execution_state
 from ..platform.chip import Chip, ChipState
 from ..platform.thermal import ThermalModel
@@ -178,6 +180,10 @@ class ServerSystem:
         self._power_w = 0.0
         self._pending_arrivals = 0
         self._crashed = False
+        #: Events dispatched per kind + controller hook invocations;
+        #: plain dict/int counts, flushed into telemetry at end of run.
+        self._event_counts: Dict[str, int] = {}
+        self._controller_calls = 0
 
     # -- public API used by controllers -----------------------------------------
 
@@ -252,6 +258,7 @@ class ServerSystem:
         for process in self.processes:
             self.events.schedule(process.arrival_s, "arrival", process.pid)
         self._pending_arrivals = len(self.processes)
+        self._controller_calls += 1
         self.controller.on_start()
         if self.controller.monitor_period_s:
             self.events.schedule(
@@ -269,7 +276,7 @@ class ServerSystem:
         makespan = self._makespan()
         # Charge the idle tail (if tracing sampled past the last finish,
         # energy was already integrated up to the last event only).
-        return SystemResult(
+        result = SystemResult(
             makespan_s=makespan,
             energy_j=self.meter.energy_j,
             trace=self.trace,
@@ -278,10 +285,15 @@ class ServerSystem:
             voltage_transitions=self.chip.slimpro.transition_count(),
             frequency_transitions=self.chip.cppc.transition_count(),
         )
+        if telemetry.enabled():
+            self._flush_telemetry(result)
+        return result
 
     # -- event handling ----------------------------------------------------------
 
     def _dispatch(self, event: Event) -> None:
+        counts = self._event_counts
+        counts[event.kind] = counts.get(event.kind, 0) + 1
         if event.kind == "arrival":
             self._handle_arrival(self._by_pid[event.payload])
         elif event.kind == "finish":
@@ -299,6 +311,7 @@ class ServerSystem:
             self.queue.append(process)
 
     def _try_admit(self, process: SimProcess) -> bool:
+        self._controller_calls += 1
         cores = self.controller.place(process)
         if cores is None:
             cores = self.scheduler.select_cores(self.chip, process.nthreads)
@@ -307,6 +320,7 @@ class ServerSystem:
         process.start(self.now, tuple(cores))
         for core in process.cores:
             self.chip.occupy(core, process.pid)
+        self._controller_calls += 1
         self.controller.on_process_started(process)
         return True
 
@@ -318,6 +332,7 @@ class ServerSystem:
         del self._finish_events[process.pid]
         self.chip.release_occupant(process.pid)
         process.finish(self.now)
+        self._controller_calls += 1
         self.controller.on_process_finished(process)
         self._admit_queued()
 
@@ -338,6 +353,7 @@ class ServerSystem:
         del self._phase_events[process.pid]
 
     def _handle_tick(self) -> None:
+        self._controller_calls += 1
         self.controller.on_tick()
         work_left = (
             self._pending_arrivals > 0
@@ -557,3 +573,56 @@ class ServerSystem:
             p.finish_s for p in self.processes if p.finish_s is not None
         ]
         return max(finished) if finished else self.now
+
+    # -- telemetry ---------------------------------------------------------------
+
+    def _flush_telemetry(self, result: SystemResult) -> None:
+        """Publish the run's aggregate counts into the metric registry.
+
+        Called once per completed replay (never inside the event loop),
+        so the hot path stays free of telemetry dispatch: the loop only
+        bumps plain ints/dicts and this flush converts them into the
+        structured counters the run manifest snapshots. Every value is
+        derived from simulation state, not wall clock, so snapshots are
+        deterministic for a given seed.
+        """
+        counts = self._event_counts
+        telemetry.inc(
+            metric_names.SIM_EVENTS_DISPATCHED, sum(counts.values())
+        )
+        telemetry.inc(
+            metric_names.SIM_EVENT_ARRIVALS, counts.get("arrival", 0)
+        )
+        telemetry.inc(
+            metric_names.SIM_EVENT_FINISHES, counts.get("finish", 0)
+        )
+        telemetry.inc(metric_names.SIM_EVENT_PHASES, counts.get("phase", 0))
+        telemetry.inc(metric_names.SIM_EVENT_TICKS, counts.get("tick", 0))
+        telemetry.inc(
+            metric_names.SIM_EVENTS_SCHEDULED, self.events.scheduled_total
+        )
+        telemetry.inc(
+            metric_names.SIM_EVENTS_CANCELLED, self.events.cancelled_total
+        )
+        telemetry.inc(
+            metric_names.SIM_CONTROLLER_CALLBACKS, self._controller_calls
+        )
+        telemetry.inc(metric_names.SIM_VIOLATIONS, len(self.violations))
+        telemetry.inc(
+            metric_names.SIM_VOLTAGE_TRANSITIONS,
+            result.voltage_transitions,
+        )
+        telemetry.inc(
+            metric_names.SIM_FREQUENCY_TRANSITIONS,
+            result.frequency_transitions,
+        )
+        telemetry.inc(metric_names.SIM_RUNS)
+        if self.trace is not None:
+            telemetry.inc(
+                metric_names.SIM_TRACE_SAMPLES, len(self.trace.samples)
+            )
+        # Simulation time and integrated energy are seed-deterministic,
+        # so they may live in gauges (fingerprinted) despite the _s/_j
+        # suffixes: they are model outputs, not wall-clock measurements.
+        telemetry.set_gauge(metric_names.SIM_MAKESPAN_S, result.makespan_s)
+        telemetry.set_gauge(metric_names.SIM_ENERGY_J, result.energy_j)

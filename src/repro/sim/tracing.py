@@ -9,6 +9,7 @@ smoothing of the system-load curve.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import List, Sequence
 
@@ -41,9 +42,23 @@ class TimelineTrace:
             raise SimulationError("trace period must be positive")
 
     def append(self, sample: TraceSample) -> None:
-        """Add one sample (time must be non-decreasing)."""
-        if self.samples and sample.time_s < self.samples[-1].time_s:
-            raise SimulationError("trace samples must be time-ordered")
+        """Add one sample (time must be non-decreasing).
+
+        Equal-time samples are explicitly legal: the simulator may
+        emit a sample at an instant where several events coincide
+        (e.g. a finish and a monitor tick at the same timestamp). Only
+        strictly decreasing — or non-comparable (NaN) — times are
+        rejected.
+        """
+        if math.isnan(sample.time_s):  # NaN never orders
+            raise SimulationError("trace sample time must not be NaN")
+        if self.samples and not (
+            sample.time_s >= self.samples[-1].time_s
+        ):
+            raise SimulationError(
+                "trace sample times must be non-decreasing "
+                f"(got {sample.time_s} after {self.samples[-1].time_s})"
+            )
         self.samples.append(sample)
 
     def times(self) -> List[float]:

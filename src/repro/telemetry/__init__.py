@@ -1,0 +1,85 @@
+"""repro.telemetry — structured metrics, span tracing, run manifests.
+
+A lightweight, deterministic instrumentation subsystem:
+
+* :mod:`repro.telemetry.metrics` — counters / gauges / histograms /
+  nested timing spans behind a process-local registry with a no-op
+  fast path (disabled by default);
+* :mod:`repro.telemetry.names` — the central registry of ``dot.scoped``
+  metric-name literals (reprolint RL006 enforces that call sites use
+  these constants);
+* :mod:`repro.telemetry.manifest` — versioned run manifests with a
+  stdlib schema checker and timing-excluded fingerprints.
+
+The package is stdlib-only and imports nothing from the rest of
+``repro``, so every layer (sim, core, vmin, kernels, experiments) can
+instrument itself without import cycles. See ``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+from . import names
+from .manifest import (
+    MANIFEST_KIND,
+    MANIFEST_SCHEMA_VERSION,
+    TIMING_KEYS,
+    build_manifest,
+    diff_manifests,
+    hit_rate_of,
+    load_manifest,
+    manifest_fingerprint,
+    strip_timing_fields,
+    summarize_manifest,
+    validate_manifest,
+    write_manifest,
+)
+from .metrics import (
+    MetricsRegistry,
+    Snapshot,
+    declared_names,
+    disable,
+    enable,
+    enabled,
+    get_registry,
+    inc,
+    merge_snapshots,
+    observe,
+    reset,
+    session,
+    set_gauge,
+    set_registry,
+    snapshot,
+    span,
+)
+
+__all__ = [
+    "MANIFEST_KIND",
+    "MANIFEST_SCHEMA_VERSION",
+    "MetricsRegistry",
+    "Snapshot",
+    "TIMING_KEYS",
+    "build_manifest",
+    "declared_names",
+    "diff_manifests",
+    "disable",
+    "enable",
+    "enabled",
+    "get_registry",
+    "hit_rate_of",
+    "inc",
+    "load_manifest",
+    "manifest_fingerprint",
+    "merge_snapshots",
+    "names",
+    "observe",
+    "reset",
+    "session",
+    "set_gauge",
+    "set_registry",
+    "snapshot",
+    "span",
+    "strip_timing_fields",
+    "summarize_manifest",
+    "validate_manifest",
+    "write_manifest",
+]

@@ -1,0 +1,161 @@
+"""``repro telemetry`` — inspect and gate run manifests.
+
+Subcommands::
+
+    repro telemetry dump PATH          # canonical JSON (timing-stripped
+                                       # deterministic subset on request)
+    repro telemetry summarize PATH     # terse human summary
+    repro telemetry diff LEFT RIGHT    # field-level differences
+    repro telemetry check PATH         # schema + policy gate (CI)
+
+``check`` is the machine entry point: it validates the manifest against
+its versioned schema and optionally enforces policy floors such as
+``--min-hit-rate``, exiting non-zero on any violation so CI jobs can
+gate on structured data instead of scraping logs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .manifest import (
+    canonical_json,
+    diff_manifests,
+    hit_rate_of,
+    load_manifest,
+    strip_timing_fields,
+    summarize_manifest,
+    validate_manifest,
+)
+
+
+def build_telemetry_parser() -> argparse.ArgumentParser:
+    """The ``repro telemetry`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro telemetry",
+        description="Inspect and gate run manifests "
+        "(written by 'repro run-all --summary-json PATH').",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    dump = sub.add_parser(
+        "dump", help="print a manifest as canonical JSON"
+    )
+    dump.add_argument("manifest", help="manifest file path")
+    dump.add_argument(
+        "--strip-timing",
+        action="store_true",
+        help="drop wall-clock fields (the deterministic subset)",
+    )
+
+    summarize = sub.add_parser(
+        "summarize", help="terse human summary of a manifest"
+    )
+    summarize.add_argument("manifest", help="manifest file path")
+
+    diff = sub.add_parser(
+        "diff", help="field-level differences between two manifests"
+    )
+    diff.add_argument("left", help="baseline manifest path")
+    diff.add_argument("right", help="candidate manifest path")
+    diff.add_argument(
+        "--include-timing",
+        action="store_true",
+        help="also compare wall-clock fields (differ on every run)",
+    )
+
+    check = sub.add_parser(
+        "check", help="validate schema and enforce policy floors"
+    )
+    check.add_argument("manifest", help="manifest file path")
+    check.add_argument(
+        "--min-hit-rate",
+        type=float,
+        default=None,
+        metavar="RATE",
+        help="fail unless the total cache hit rate is >= RATE (0..1)",
+    )
+    check.add_argument(
+        "--expect-experiments",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fail unless the manifest covers exactly N experiments",
+    )
+    return parser
+
+
+def _cmd_dump(args: argparse.Namespace) -> int:
+    manifest = load_manifest(args.manifest)
+    if args.strip_timing:
+        manifest = strip_timing_fields(manifest)
+    print(canonical_json(manifest))
+    return 0
+
+
+def _cmd_summarize(args: argparse.Namespace) -> int:
+    print(summarize_manifest(load_manifest(args.manifest)))
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    lines = diff_manifests(
+        load_manifest(args.left),
+        load_manifest(args.right),
+        ignore_timing=not args.include_timing,
+    )
+    for line in lines:
+        print(line)
+    if lines:
+        print(f"{len(lines)} difference(s)", file=sys.stderr)
+        return 1
+    print("manifests identical", file=sys.stderr)
+    return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    manifest = load_manifest(args.manifest)
+    problems = [
+        f"schema: {error}" for error in validate_manifest(manifest)
+    ]
+    if not problems:
+        if args.min_hit_rate is not None:
+            rate = hit_rate_of(manifest)
+            if rate < args.min_hit_rate:
+                problems.append(
+                    f"policy: cache hit rate {rate:.3f} below "
+                    f"required minimum {args.min_hit_rate:.3f}"
+                )
+        if args.expect_experiments is not None:
+            count = manifest.get("totals", {}).get("experiments")
+            if count != args.expect_experiments:
+                problems.append(
+                    f"policy: manifest covers {count} experiment(s), "
+                    f"expected {args.expect_experiments}"
+                )
+    if problems:
+        for problem in problems:
+            print(f"check failed: {problem}", file=sys.stderr)
+        return 1
+    print(f"{args.manifest}: manifest OK", file=sys.stderr)
+    return 0
+
+
+_DISPATCH = {
+    "dump": _cmd_dump,
+    "summarize": _cmd_summarize,
+    "diff": _cmd_diff,
+    "check": _cmd_check,
+}
+
+
+def telemetry_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for the ``repro telemetry`` subcommand family."""
+    args = build_telemetry_parser().parse_args(argv)
+    try:
+        return _DISPATCH[args.command](args)
+    except (OSError, ValueError) as exc:
+        print(f"repro telemetry: error: {exc}", file=sys.stderr)
+        return 2

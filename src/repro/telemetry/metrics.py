@@ -1,0 +1,346 @@
+"""Process-local metric registry with a no-op fast path.
+
+The registry is **disabled by default**: every module-level helper
+checks one boolean before touching any state, so instrumented hot paths
+(cache lookups, kernel batch evaluation, the simulator event loop) pay
+a single attribute load + branch when telemetry is off. Enabling is
+explicit — the orchestrator does it around a manifest-collecting run,
+tests do it through :func:`session`.
+
+Four metric kinds:
+
+* **counters** — monotonically increasing integers (events seen);
+* **gauges** — last-written floats (bytes on disk, queue length);
+* **histograms** — deterministic aggregate of a value distribution
+  (count / sum / min / max), e.g. kernel batch sizes;
+* **spans** — nested wall-clock timings. Spans are the *only* kind
+  allowed to carry nondeterministic values; manifest fingerprints drop
+  them (see :mod:`repro.telemetry.manifest`).
+
+Metric names must be the ``dot.scoped`` literals declared in
+:mod:`repro.telemetry.names` (enforced statically by reprolint RL006).
+Everything here is stdlib-only and imports nothing from the rest of the
+package, so any layer may instrument itself without import cycles.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterable, Iterator, List, Optional
+
+from . import names as _names
+
+#: Snapshot payload: plain JSON-representable nested dicts.
+Snapshot = Dict[str, Any]
+
+#: Separator joining nested span names into one aggregation path.
+SPAN_PATH_SEP = "/"
+
+
+def declared_names() -> Dict[str, str]:
+    """``CONSTANT -> value`` for every name in the central registry."""
+    return {
+        key: value
+        for key, value in sorted(vars(_names).items())
+        if key.isupper() and isinstance(value, str)
+    }
+
+
+class _Histogram:
+    """Deterministic aggregate of observed values."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+        }
+
+
+class _SpanStats:
+    """Aggregated wall-clock timings of one span path."""
+
+    __slots__ = ("count", "total_s", "max_s")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total_s = 0.0
+        self.max_s = 0.0
+
+    def record(self, elapsed_s: float) -> None:
+        self.count += 1
+        self.total_s += elapsed_s
+        if elapsed_s > self.max_s:
+            self.max_s = elapsed_s
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "total_s": self.total_s,
+            "max_s": self.max_s,
+        }
+
+
+class MetricsRegistry:
+    """One process-local set of counters/gauges/histograms/spans.
+
+    Instances are cheap; the module-level helpers route to the current
+    process default (swappable with :func:`session` /
+    :func:`set_registry`). The registry is not thread-safe by design —
+    the instrumented layers are single-threaded per process, and the
+    orchestrator gives every worker process its own registry.
+    """
+
+    __slots__ = ("enabled", "_counters", "_gauges", "_histograms",
+                 "_spans", "_span_stack")
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+        self._counters: Dict[str, int] = {}
+        self._gauges: Dict[str, float] = {}
+        self._histograms: Dict[str, _Histogram] = {}
+        self._spans: Dict[str, _SpanStats] = {}
+        self._span_stack: List[str] = []
+
+    # -- write API ------------------------------------------------------------
+
+    def inc(self, name: str, n: int = 1) -> None:
+        """Add ``n`` to counter ``name``."""
+        self._counters[name] = self._counters.get(name, 0) + n
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to ``value`` (last write wins)."""
+        self._gauges[name] = float(value)
+
+    def observe(self, name: str, value: float) -> None:
+        """Fold ``value`` into histogram ``name``."""
+        hist = self._histograms.get(name)
+        if hist is None:
+            hist = self._histograms[name] = _Histogram()
+        hist.observe(float(value))
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[None]:
+        """Time a block; nested spans aggregate under a ``/`` path."""
+        self._span_stack.append(name)
+        path = SPAN_PATH_SEP.join(self._span_stack)
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - started
+            self._span_stack.pop()
+            stats = self._spans.get(path)
+            if stats is None:
+                stats = self._spans[path] = _SpanStats()
+            stats.record(elapsed)
+
+    # -- read API -------------------------------------------------------------
+
+    def counter(self, name: str) -> int:
+        """Current value of counter ``name`` (0 when never written)."""
+        return self._counters.get(name, 0)
+
+    def gauge(self, name: str) -> Optional[float]:
+        """Current value of gauge ``name``, or ``None``."""
+        return self._gauges.get(name)
+
+    def snapshot(self) -> Snapshot:
+        """JSON-representable copy of every metric, sorted by name.
+
+        The ``spans`` subtree is the only nondeterministic part; the
+        manifest fingerprint strips it (plus any ``*_s`` timing keys).
+        """
+        return {
+            "counters": dict(sorted(self._counters.items())),
+            "gauges": dict(sorted(self._gauges.items())),
+            "histograms": {
+                name: hist.as_dict()
+                for name, hist in sorted(self._histograms.items())
+            },
+            "spans": {
+                path: stats.as_dict()
+                for path, stats in sorted(self._spans.items())
+            },
+        }
+
+    def reset(self) -> None:
+        """Drop every recorded metric (the enabled flag is kept)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+        self._spans.clear()
+        self._span_stack.clear()
+
+
+def merge_snapshots(snapshots: Iterable[Snapshot]) -> Snapshot:
+    """Aggregate several snapshots into one.
+
+    Counters and histogram aggregates sum (min/max fold), gauges keep
+    the largest value seen (the interesting one for sizes/depths), and
+    span paths merge their counts and totals. Key order is sorted, so
+    merging is order-insensitive apart from gauge ties.
+    """
+    counters: Dict[str, int] = {}
+    gauges: Dict[str, float] = {}
+    histograms: Dict[str, Dict[str, float]] = {}
+    spans: Dict[str, Dict[str, float]] = {}
+    for snap in snapshots:
+        for name, value in snap.get("counters", {}).items():
+            counters[name] = counters.get(name, 0) + int(value)
+        for name, value in snap.get("gauges", {}).items():
+            gauges[name] = max(gauges.get(name, float("-inf")), float(value))
+        for name, agg in snap.get("histograms", {}).items():
+            into = histograms.setdefault(
+                name,
+                {
+                    "count": 0,
+                    "sum": 0.0,
+                    "min": float("inf"),
+                    "max": float("-inf"),
+                },
+            )
+            into["count"] += agg["count"]
+            into["sum"] += agg["sum"]
+            into["min"] = min(into["min"], agg["min"])
+            into["max"] = max(into["max"], agg["max"])
+        for path, agg in snap.get("spans", {}).items():
+            into = spans.setdefault(
+                path, {"count": 0, "total_s": 0.0, "max_s": 0.0}
+            )
+            into["count"] += agg["count"]
+            into["total_s"] += agg["total_s"]
+            into["max_s"] = max(into["max_s"], agg["max_s"])
+    return {
+        "counters": dict(sorted(counters.items())),
+        "gauges": dict(sorted(gauges.items())),
+        "histograms": dict(sorted(histograms.items())),
+        "spans": dict(sorted(spans.items())),
+    }
+
+
+# -- process-default registry and the no-op fast path -------------------------
+
+_registry = MetricsRegistry()
+
+
+class _NoopSpan:
+    """Shared allocation-free context manager for disabled spans."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc: object) -> None:
+        return None
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-default registry the helpers write into."""
+    return _registry
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Replace the process-default registry (returns it)."""
+    global _registry
+    _registry = registry
+    return registry
+
+
+def enabled() -> bool:
+    """Whether the process-default registry records anything."""
+    return _registry.enabled
+
+
+def enable() -> MetricsRegistry:
+    """Turn recording on for the process-default registry."""
+    _registry.enabled = True
+    return _registry
+
+
+def disable() -> MetricsRegistry:
+    """Turn recording off (the no-op fast path)."""
+    _registry.enabled = False
+    return _registry
+
+
+def inc(name: str, n: int = 1) -> None:
+    """Counter increment; free when telemetry is disabled."""
+    reg = _registry
+    if reg.enabled:
+        reg.inc(name, n)
+
+
+def set_gauge(name: str, value: float) -> None:
+    """Gauge write; free when telemetry is disabled."""
+    reg = _registry
+    if reg.enabled:
+        reg.set_gauge(name, value)
+
+
+def observe(name: str, value: float) -> None:
+    """Histogram observation; free when telemetry is disabled."""
+    reg = _registry
+    if reg.enabled:
+        reg.observe(name, value)
+
+
+def span(name: str) -> Any:
+    """Timing span context manager; shared no-op when disabled."""
+    reg = _registry
+    if reg.enabled:
+        return reg.span(name)
+    return _NOOP_SPAN
+
+
+def snapshot() -> Snapshot:
+    """Snapshot of the process-default registry."""
+    return _registry.snapshot()
+
+
+def reset() -> None:
+    """Clear the process-default registry's recorded metrics."""
+    _registry.reset()
+
+
+@contextmanager
+def session(enabled_: bool = True) -> Iterator[MetricsRegistry]:
+    """Swap in a fresh registry for a scoped run, then restore.
+
+    Used by the orchestrator to give each experiment (and each worker
+    process) an isolated metric scope whose snapshot lands in the run
+    manifest::
+
+        with telemetry.session() as reg:
+            render()
+        manifest_metrics = reg.snapshot()
+    """
+    previous = _registry
+    fresh = MetricsRegistry(enabled=enabled_)
+    set_registry(fresh)
+    try:
+        yield fresh
+    finally:
+        set_registry(previous)

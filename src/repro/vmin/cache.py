@@ -48,7 +48,9 @@ from functools import lru_cache
 from pathlib import Path
 from typing import Any, Callable, Dict, Iterable, Optional, TypeVar, Union
 
+from .. import telemetry
 from ..errors import ConfigurationError
+from ..telemetry import names as metric_names
 
 from ..platform.specs import ChipSpec
 
@@ -256,13 +258,17 @@ class VminCache:
             if key in self._entries:
                 self._entries.move_to_end(key)
                 self.stats.hits += 1
+                telemetry.inc(metric_names.VMIN_CACHE_HITS)
                 return self._entries[key]
             value = self._disk_load(key)
             if value is None:
                 self.stats.misses += 1
+                telemetry.inc(metric_names.VMIN_CACHE_MISSES)
                 return None
             self.stats.hits += 1
             self.stats.disk_hits += 1
+            telemetry.inc(metric_names.VMIN_CACHE_HITS)
+            telemetry.inc(metric_names.VMIN_CACHE_DISK_HITS)
             self._memory_store(key, value)
             return value
 
@@ -270,6 +276,7 @@ class VminCache:
         """Store a JSON-representable value under ``key``."""
         with self._lock:
             self.stats.stores += 1
+            telemetry.inc(metric_names.VMIN_CACHE_STORES)
             self._memory_store(key, value)
             self._disk_store(key, value)
 
@@ -277,6 +284,32 @@ class VminCache:
         """Drop the in-memory tier (the disk store is left alone)."""
         with self._lock:
             self._entries.clear()
+
+    def disk_bytes(self) -> int:
+        """Total size of the on-disk store, bytes (0 when memory-only).
+
+        Scans the cache directory; meant for end-of-run telemetry and
+        the run manifest, not for hot-path accounting.
+        """
+        if self.cache_dir is None:
+            return 0
+        total = 0
+        try:
+            for path in self.cache_dir.glob("*.json"):
+                try:
+                    total += path.stat().st_size
+                except OSError:
+                    continue
+        except OSError:
+            return total
+        return total
+
+    def publish_telemetry(self) -> None:
+        """Write the disk-tier size gauge into the metric registry."""
+        if telemetry.enabled():
+            telemetry.set_gauge(
+                metric_names.VMIN_CACHE_DISK_BYTES, float(self.disk_bytes())
+            )
 
     # -- memory tier -----------------------------------------------------------
 
@@ -288,6 +321,7 @@ class VminCache:
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
+            telemetry.inc(metric_names.VMIN_CACHE_EVICTIONS)
 
     # -- disk tier -------------------------------------------------------------
 

@@ -24,6 +24,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import telemetry
 from ..allocation import Allocation, cores_for
 from ..errors import CharacterizationError
 from ..kernels.faults import (
@@ -36,6 +37,7 @@ from ..kernels.faults import (
 )
 from ..kernels.vmin import evaluate_grid
 from ..platform.specs import ChipSpec
+from ..telemetry import names as metric_names
 from .cache import (
     VminCache,
     cache_key_producer,
@@ -290,6 +292,7 @@ class VminCampaign:
         mode: str = "analytic",
     ) -> SafeVminResult:
         """Scalar reference implementation of :meth:`measure_safe_vmin`."""
+        telemetry.inc(metric_names.KERNELS_SCALAR_FALLBACKS)
         if mode not in ("analytic", "trials"):
             raise CharacterizationError(f"unknown mode {mode!r}")
         # Trials mode consumes RNG state, so replaying it from a cache
@@ -534,6 +537,7 @@ class VminCampaign:
         safe_vmin_mv: Optional[int] = None,
     ) -> UnsafeScanResult:
         """Scalar reference implementation of :meth:`scan_unsafe_region`."""
+        telemetry.inc(metric_names.KERNELS_SCALAR_FALLBACKS)
         true_vmin, droop_class = self._true_vmin(point)
         if safe_vmin_mv is None:
             safe_vmin_mv = self.measure_safe_vmin(point, mode).safe_vmin_mv

@@ -1,0 +1,18 @@
+"""RL006 fixture: inline-built metric names at telemetry call sites."""
+
+from repro import telemetry
+from repro.telemetry import names as metric_names
+
+
+def record(kind: str, depth: int) -> None:
+    telemetry.inc("sim.events.dispatched")  # line 8: raw literal
+    telemetry.inc(f"sim.events.{kind}")  # line 9: f-string
+    telemetry.observe("queue." + kind, depth)  # line 10: concatenation
+    telemetry.set_gauge(name=str(depth), value=depth)  # line 11: computed
+    with telemetry.span(kind):  # line 12: arbitrary variable
+        pass
+
+
+def fine(depth: int) -> None:
+    telemetry.inc(metric_names.SIM_EVENTS_DISPATCHED)
+    telemetry.observe(metric_names.ORCH_QUEUE_DEPTH, depth)

@@ -1,0 +1,19 @@
+"""RL006 fixture: registry-constant metric names — must NOT be flagged."""
+
+from repro import telemetry
+from repro.telemetry import names as metric_names
+
+
+def record(count: int) -> None:
+    telemetry.inc(metric_names.SIM_EVENTS_DISPATCHED, count)
+    telemetry.set_gauge(metric_names.VMIN_CACHE_DISK_BYTES, count)
+    telemetry.observe(telemetry.names.ORCH_QUEUE_DEPTH, count)
+    with telemetry.span(metric_names.ORCH_RUN_SPAN):
+        pass
+
+
+def unrelated(label: str) -> None:
+    # Same method names on non-telemetry objects are not metric calls.
+    registry = {}
+    registry.setdefault(label, 0)
+    print(f"status: {label}")

@@ -1,0 +1,7 @@
+"""RL006 fixture: malformed metric-name registry module."""
+
+SIM_RUNS = "sim.run.completed"
+SIM_TICKS = "SimTicks"  # line 4: not dot.scoped
+DAEMON_REPLANS = "replans"  # line 5: single scope, no dot
+DAEMON_RETUNES = "sim.run.completed"  # line 6: duplicate of SIM_RUNS
+SIM_SPANS = 7  # line 7: not a string literal

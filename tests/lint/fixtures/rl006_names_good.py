@@ -1,0 +1,10 @@
+"""RL006 fixture: well-formed metric-name registry — must NOT be flagged."""
+
+from typing import Final
+
+SIM_RUNS = "sim.run.completed"
+SIM_TICKS: Final = "sim.events.ticks"
+DAEMON_REPLANS = "daemon.placement.replans"
+
+#: Lower-case helpers are not registry constants.
+_prefix = "sim"

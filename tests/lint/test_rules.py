@@ -132,6 +132,57 @@ class TestRL005Hygiene:
         assert marks == []
 
 
+class TestRL006TelemetryNames:
+    def test_bad_call_sites_exact_positions(self):
+        marks, findings = lint_fixture(
+            "rl006_bad.py", "repro.experiments.fixture"
+        )
+        assert marks == [
+            ("RL006", 8, 18),   # raw string literal
+            ("RL006", 9, 18),   # f-string
+            ("RL006", 10, 22),  # "queue." + kind
+            ("RL006", 11, 29),  # str(depth) keyword name
+            ("RL006", 12, 24),  # span(kind) variable
+        ]
+        assert "raw string literal" in findings[0].message
+        assert "f-string" in findings[1].message
+        assert "string arithmetic" in findings[2].message
+        assert "computed by a call" in findings[3].message
+        assert "not a registry constant" in findings[4].message
+
+    def test_good_call_sites_clean(self):
+        marks, _ = lint_fixture(
+            "rl006_good.py", "repro.experiments.fixture"
+        )
+        assert marks == []
+
+    def test_call_sites_exempt_in_tests(self):
+        marks, _ = lint_fixture(
+            "rl006_bad.py", "repro.experiments.fixture", is_test=True
+        )
+        assert marks == []
+
+    def test_names_module_shape_exact_positions(self):
+        marks, findings = lint_fixture(
+            "rl006_names_bad.py", "repro.telemetry.names"
+        )
+        assert marks == [
+            ("RL006", 4, 12),  # "SimTicks" not dot.scoped
+            ("RL006", 5, 17),  # "replans" single scope
+            ("RL006", 6, 17),  # duplicate of SIM_RUNS
+            ("RL006", 7, 0),   # non-string constant
+        ]
+        assert "not dot.scoped" in findings[0].message
+        assert "duplicates `SIM_RUNS`" in findings[2].message
+        assert "plain string literal" in findings[3].message
+
+    def test_names_module_good_clean(self):
+        marks, _ = lint_fixture(
+            "rl006_names_good.py", "repro.telemetry.names"
+        )
+        assert marks == []
+
+
 class TestSuppressions:
     def test_reasoned_suppression_silences(self):
         marks, _ = lint_fixture(

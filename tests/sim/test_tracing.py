@@ -34,6 +34,27 @@ class TestTimelineTrace:
         with pytest.raises(SimulationError):
             trace.append(sample(4.0))
 
+    def test_equal_time_samples_are_legal(self):
+        # Regression: the docstring promises *non-decreasing* times, so
+        # two samples at the same instant (e.g. a controller-forced
+        # sample coinciding with the periodic one) must be accepted.
+        trace = TimelineTrace()
+        trace.append(sample(1.0, power=10.0))
+        trace.append(sample(1.0, power=12.0))
+        assert trace.times() == [1.0, 1.0]
+        assert trace.power_series() == [10.0, 12.0]
+
+    def test_nan_time_rejected(self):
+        trace = TimelineTrace()
+        trace.append(sample(0.0))
+        with pytest.raises(SimulationError):
+            trace.append(sample(float("nan")))
+
+    def test_nan_time_rejected_on_empty_trace(self):
+        trace = TimelineTrace()
+        with pytest.raises(SimulationError):
+            trace.append(sample(float("nan")))
+
     def test_average_and_peak_power(self):
         trace = TimelineTrace()
         for t, p in enumerate((10.0, 30.0, 20.0)):

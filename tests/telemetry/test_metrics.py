@@ -1,0 +1,172 @@
+"""Tests for the metric registry: kinds, fast path, sessions, merging."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry import names as metric_names
+from repro.telemetry.metrics import MetricsRegistry, merge_snapshots
+
+
+class TestRegistryKinds:
+    def test_counters_accumulate(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.inc("a.b.c")
+        reg.inc("a.b.c", 4)
+        assert reg.counter("a.b.c") == 5
+        assert reg.counter("never.written.metric") == 0
+
+    def test_gauges_last_write_wins(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.set_gauge("a.b.bytes", 10)
+        reg.set_gauge("a.b.bytes", 3)
+        assert reg.gauge("a.b.bytes") == 3.0
+        assert reg.gauge("never.written.metric") is None
+
+    def test_histograms_aggregate_count_sum_min_max(self):
+        reg = MetricsRegistry(enabled=True)
+        for value in (4.0, 1.0, 7.0):
+            reg.observe("a.b.sizes", value)
+        snap = reg.snapshot()
+        assert snap["histograms"]["a.b.sizes"] == {
+            "count": 3,
+            "sum": 12.0,
+            "min": 1.0,
+            "max": 7.0,
+        }
+
+    def test_nested_spans_join_into_paths(self):
+        reg = MetricsRegistry(enabled=True)
+        with reg.span("outer"):
+            with reg.span("inner"):
+                pass
+            with reg.span("inner"):
+                pass
+        spans = reg.snapshot()["spans"]
+        assert set(spans) == {"outer", "outer/inner"}
+        assert spans["outer"]["count"] == 1
+        assert spans["outer/inner"]["count"] == 2
+        assert spans["outer"]["total_s"] >= spans["outer/inner"]["total_s"]
+
+    def test_span_stack_unwinds_on_exception(self):
+        reg = MetricsRegistry(enabled=True)
+        with pytest.raises(RuntimeError):
+            with reg.span("outer"):
+                raise RuntimeError("boom")
+        with reg.span("after"):
+            pass
+        assert set(reg.snapshot()["spans"]) == {"outer", "after"}
+
+    def test_reset_clears_values_keeps_enabled(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.inc("a.b.c")
+        reg.reset()
+        assert reg.enabled
+        assert reg.snapshot()["counters"] == {}
+
+    def test_snapshot_is_sorted_and_json_plain(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.inc("z.last.metric")
+        reg.inc("a.first.metric")
+        snap = reg.snapshot()
+        assert list(snap["counters"]) == ["a.first.metric", "z.last.metric"]
+        assert set(snap) == {"counters", "gauges", "histograms", "spans"}
+
+
+class TestModuleFastPath:
+    def test_disabled_by_default_and_drops_writes(self):
+        with telemetry.session(enabled_=False) as reg:
+            assert not telemetry.enabled()
+            telemetry.inc(metric_names.SIM_RUNS)
+            telemetry.observe(metric_names.KERNELS_VMIN_BATCH, 5)
+            telemetry.set_gauge(metric_names.VMIN_CACHE_DISK_BYTES, 1)
+            with telemetry.span(metric_names.ORCH_RUN_SPAN):
+                pass
+            snap = reg.snapshot()
+        assert snap["counters"] == {}
+        assert snap["gauges"] == {}
+        assert snap["histograms"] == {}
+        assert snap["spans"] == {}
+
+    def test_disabled_span_is_shared_noop(self):
+        with telemetry.session(enabled_=False):
+            a = telemetry.span(metric_names.ORCH_RUN_SPAN)
+            b = telemetry.span(metric_names.ORCH_EXPERIMENT_SPAN)
+        assert a is b  # one shared allocation-free object
+
+    def test_session_isolates_and_restores(self):
+        before = telemetry.get_registry()
+        with telemetry.session() as reg:
+            telemetry.inc(metric_names.SIM_RUNS, 3)
+            assert telemetry.get_registry() is reg
+        assert telemetry.get_registry() is before
+        assert reg.counter(metric_names.SIM_RUNS) == 3
+
+    def test_sessions_nest(self):
+        with telemetry.session() as outer:
+            telemetry.inc(metric_names.SIM_RUNS)
+            with telemetry.session() as inner:
+                telemetry.inc(metric_names.SIM_RUNS)
+            telemetry.inc(metric_names.SIM_RUNS)
+        assert outer.counter(metric_names.SIM_RUNS) == 2
+        assert inner.counter(metric_names.SIM_RUNS) == 1
+
+
+class TestDeclaredNames:
+    def test_all_declared_names_are_dot_scoped_and_unique(self):
+        declared = telemetry.declared_names()
+        assert declared, "the name registry must not be empty"
+        values = list(declared.values())
+        assert len(values) == len(set(values))
+        for value in values:
+            parts = value.split(".")
+            assert len(parts) >= 2, value
+            for part in parts:
+                assert part and part == part.lower(), value
+
+
+class TestMergeSnapshots:
+    def _snap(self, reg_setup):
+        reg = MetricsRegistry(enabled=True)
+        reg_setup(reg)
+        return reg.snapshot()
+
+    def test_counters_sum_gauges_max_histograms_fold(self):
+        a = self._snap(
+            lambda r: (
+                r.inc("c.x.n", 2),
+                r.set_gauge("g.x.v", 5),
+                r.observe("h.x.s", 1.0),
+            )
+        )
+        b = self._snap(
+            lambda r: (
+                r.inc("c.x.n", 3),
+                r.set_gauge("g.x.v", 2),
+                r.observe("h.x.s", 9.0),
+            )
+        )
+        merged = merge_snapshots([a, b])
+        assert merged["counters"]["c.x.n"] == 5
+        assert merged["gauges"]["g.x.v"] == 5.0
+        assert merged["histograms"]["h.x.s"] == {
+            "count": 2,
+            "sum": 10.0,
+            "min": 1.0,
+            "max": 9.0,
+        }
+
+    def test_merge_is_order_insensitive(self):
+        a = self._snap(lambda r: r.inc("c.x.n", 2))
+        b = self._snap(lambda r: r.observe("h.x.s", 4.0))
+        assert merge_snapshots([a, b]) == merge_snapshots([b, a])
+
+    def test_merge_of_nothing_is_empty(self):
+        merged = merge_snapshots([])
+        assert merged == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+            "spans": {},
+        }

@@ -42,8 +42,32 @@ def test_workflow_parses_with_expected_jobs(workflow):
 
 def test_test_job_matrix_covers_supported_pythons(workflow):
     matrix = workflow["jobs"]["test"]["strategy"]["matrix"]
-    assert matrix["python-version"] == ["3.10", "3.11", "3.12"]
+    assert matrix["python-version"] == ["3.10", "3.11", "3.12", "3.13"]
     assert "python -m pytest -x -q" in _steps_text(workflow["jobs"]["test"])
+
+
+def test_workflow_cancels_superseded_pr_runs(workflow):
+    concurrency = workflow["concurrency"]
+    assert "github.ref" in concurrency["group"]
+    assert "pull_request" in str(concurrency["cancel-in-progress"])
+
+
+def test_installing_jobs_cache_pip(workflow):
+    for name, job in workflow["jobs"].items():
+        if not any(
+            "pip install" in str(step.get("run", ""))
+            for step in job["steps"]
+        ):
+            continue
+        caches = [
+            step
+            for step in job["steps"]
+            if "actions/cache" in str(step.get("uses", ""))
+        ]
+        assert caches, f"job {name!r} installs without a pip cache"
+        with_block = caches[0]["with"]
+        assert with_block["path"] == "~/.cache/pip"
+        assert "hashFiles('pyproject.toml')" in with_block["key"]
 
 
 def test_lint_job_runs_ruff(workflow):
@@ -88,7 +112,22 @@ def test_bench_regression_job_gates_on_committed_baseline(workflow):
         for step in job["steps"]
         if "upload-artifact" in str(step.get("uses", ""))
     ]
-    assert uploads and uploads[0]["with"]["path"] == "bench_results.json"
+    paths = [step["with"]["path"] for step in uploads]
+    assert "bench_results.json" in paths
+
+
+def test_bench_regression_job_uploads_telemetry_snapshot(workflow):
+    job = workflow["jobs"]["bench-regression"]
+    assert "TELEMETRY_SNAPSHOT_OUT=telemetry_snapshot.json" in _steps_text(
+        job
+    )
+    uploads = [
+        step
+        for step in job["steps"]
+        if "upload-artifact" in str(step.get("uses", ""))
+    ]
+    paths = [step["with"]["path"] for step in uploads]
+    assert "telemetry_snapshot.json" in paths
 
 
 def test_every_job_has_a_timeout(workflow):
@@ -102,3 +141,24 @@ def test_verify_job_checks_determinism_and_cache(workflow):
     assert "--cache-dir" in text
     assert "diff tests/golden/run_all_xgene2.txt" in text
     assert "diff run_all.txt run_all_warm.txt" in text
+
+
+def test_verify_job_gates_on_structured_manifest(workflow):
+    job = workflow["jobs"]["verify"]
+    text = _steps_text(job)
+    # The cache-hit gate reads the schema-validated manifest, not a
+    # regex scrape of the human summary table.
+    assert "--summary-json manifest_cold.json" in text
+    assert "--summary-json manifest_warm.json" in text
+    assert "repro telemetry check manifest_warm.json --min-hit-rate 0.5" in text
+    assert "repro telemetry check manifest_cold.json" in text
+    assert "import re" not in text
+    uploads = [
+        step
+        for step in job["steps"]
+        if "upload-artifact" in str(step.get("uses", ""))
+    ]
+    assert uploads, "verify job must upload the run manifests"
+    paths = str(uploads[0]["with"]["path"])
+    assert "manifest_cold.json" in paths
+    assert "manifest_warm.json" in paths

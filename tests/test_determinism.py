@@ -108,3 +108,61 @@ class TestHashSeedIndependence:
         second = _run_with_hashseed("1")
         assert first, "orchestrator subset produced no output"
         assert first == second
+
+
+class TestManifestDeterminism:
+    """Same-seed runs must agree on every non-timing manifest byte."""
+
+    NAMES = ["fig14", "fig5"]
+    KWARGS = dict(platform="xgene2", duration_s=60.0, seed=0)
+
+    def _run(self):
+        from repro.experiments import orchestrator
+        from repro.telemetry import build_manifest
+        from repro.vmin.cache import reset_default_cache
+
+        reset_default_cache()
+        summary = orchestrator.run_experiments(
+            names=self.NAMES, jobs=1, collect_telemetry=True, **self.KWARGS
+        )
+        return summary, build_manifest(summary, **self.KWARGS)
+
+    def test_metric_snapshots_are_byte_identical(self):
+        from repro.telemetry import strip_timing_fields
+        from repro.telemetry.manifest import canonical_json
+
+        first, _ = self._run()
+        second, _ = self._run()
+        for a, b in zip(first.outcomes, second.outcomes):
+            # Spans carry wall-clock values and are explicitly excluded;
+            # everything else must replay exactly.
+            assert canonical_json(
+                strip_timing_fields(a.metrics)
+            ) == canonical_json(strip_timing_fields(b.metrics))
+
+    def test_manifests_share_fingerprint_and_diff_empty(self):
+        from repro.telemetry import diff_manifests
+
+        _, first = self._run()
+        _, second = self._run()
+        assert first["fingerprint"] == second["fingerprint"]
+        assert diff_manifests(first, second) == []
+
+    def test_stripped_manifests_are_byte_identical(self):
+        from repro.telemetry import strip_timing_fields
+        from repro.telemetry.manifest import (
+            FINGERPRINT_EXCLUDED_TOP_KEYS,
+            canonical_json,
+        )
+
+        _, first = self._run()
+        _, second = self._run()
+        def deterministic_bytes(manifest):
+            payload = {
+                key: value
+                for key, value in manifest.items()
+                if key not in FINGERPRINT_EXCLUDED_TOP_KEYS
+            }
+            return canonical_json(strip_timing_fields(payload))
+
+        assert deterministic_bytes(first) == deterministic_bytes(second)

@@ -98,6 +98,18 @@ PARITY_REGISTRY_PATH = "src/repro/kernels/parity.py"
 KERNELS_PACKAGE_PATH = "src/repro/kernels"
 KERNELS_PACKAGE_NAME = "repro.kernels"
 
+#: The telemetry package and its central metric-name registry module
+#: (RL006). Call sites anywhere in the package must pass constants
+#: from the registry module to the telemetry API.
+TELEMETRY_PACKAGE = "repro.telemetry"
+TELEMETRY_NAMES_MODULE = "repro.telemetry.names"
+
+#: Module-level telemetry API functions whose first argument is a
+#: metric name (RL006 checks these call sites).
+TELEMETRY_API_FUNCS = frozenset(
+    {"inc", "set_gauge", "observe", "span"}
+)
+
 #: Wall-clock callables (module attr form) treated as nondeterministic.
 WALL_CLOCK_CALLS = frozenset(
     {

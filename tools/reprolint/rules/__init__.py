@@ -9,6 +9,7 @@ from .determinism import Determinism
 from .hygiene import HotPathHygiene
 from .parity import KernelScalarParity
 from .purity import CacheKeyPurity
+from .telemetry import TelemetryNameDiscipline
 from .units import UnitsDiscipline
 
 #: Per-file rules, instantiated once.
@@ -17,6 +18,7 @@ ALL_RULES: List[Rule] = [
     Determinism(),
     CacheKeyPurity(),
     HotPathHygiene(),
+    TelemetryNameDiscipline(),
 ]
 
 #: Cross-file project rules.
@@ -37,5 +39,6 @@ __all__ = [
     "Determinism",
     "HotPathHygiene",
     "KernelScalarParity",
+    "TelemetryNameDiscipline",
     "UnitsDiscipline",
 ]

@@ -1,0 +1,248 @@
+"""RL006 — telemetry metric-name discipline.
+
+Metric names are the join points between instrumented code, manifests
+and dashboards: a typo or an f-string-built name silently creates a new
+time series nobody reads. Two invariants keep the namespace closed:
+
+* **call sites** — the name argument of the telemetry API
+  (``telemetry.inc(...)``, ``observe``, ``set_gauge``, ``span``) must
+  be a constant read from the central registry module
+  (``repro.telemetry.names``); raw string literals, f-strings and
+  computed names are flagged;
+* **the registry itself** — every constant in
+  ``repro.telemetry.names`` must be a unique, ``dot.scoped``
+  lower-case string literal.
+
+Test code and the telemetry package internals (which necessarily
+handle names as values) are exempt from the call-site check.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, Optional, Set, Tuple
+
+from ..astutil import dotted_name
+from ..config import (
+    TELEMETRY_API_FUNCS,
+    TELEMETRY_NAMES_MODULE,
+    TELEMETRY_PACKAGE,
+)
+from ..engine import Finding, Rule, SourceFile
+
+#: Shape of a legal metric name: at least two lower-case dot-separated
+#: scopes (``layer.subsystem.metric``).
+METRIC_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z0-9_]+)+$")
+
+
+class _TelemetryAliases:
+    """Local names bound to the telemetry package / names module / API.
+
+    The shared :class:`ImportAliases` helper cannot represent
+    ``from .. import telemetry`` (a from-import with no module), which
+    is the canonical instrumentation idiom here, so this rule carries
+    its own resolver keyed on the *terminal component* of what each
+    local name was imported from.
+    """
+
+    def __init__(self, tree: ast.Module):
+        #: names bound to the telemetry package (or metrics module).
+        self.telemetry_modules: Set[str] = set()
+        #: names bound to the metric-name registry module.
+        self.names_modules: Set[str] = set()
+        #: from-imported API functions: local name -> api function.
+        self.api_funcs: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for item in node.names:
+                    local = item.asname or item.name.split(".")[0]
+                    if item.asname is None and "." in item.name:
+                        # `import repro.telemetry` binds `repro`; the
+                        # dotted access is resolved at the call site.
+                        continue
+                    tail = item.name.split(".")[-1]
+                    if tail in ("telemetry", "metrics") and (
+                        item.name == "telemetry"
+                        or ".telemetry" in f".{item.name}"
+                    ):
+                        self.telemetry_modules.add(local)
+                    elif tail == "names" and "telemetry" in item.name:
+                        self.names_modules.add(local)
+            elif isinstance(node, ast.ImportFrom):
+                module = node.module or ""
+                tail = module.split(".")[-1] if module else ""
+                for item in node.names:
+                    local = item.asname or item.name
+                    if item.name == "telemetry":
+                        # `from .. import telemetry` / `from repro
+                        # import telemetry`.
+                        self.telemetry_modules.add(local)
+                    elif item.name == "names" and tail == "telemetry":
+                        # `from ..telemetry import names as ...`.
+                        self.names_modules.add(local)
+                    elif item.name == "metrics" and tail == "telemetry":
+                        self.telemetry_modules.add(local)
+                    elif tail in ("telemetry", "metrics") and (
+                        item.name in TELEMETRY_API_FUNCS
+                    ):
+                        # `from ..telemetry import inc, span`.
+                        self.api_funcs[local] = item.name
+
+    def api_call(self, func: ast.AST) -> Optional[str]:
+        """API function a call target resolves to, if any."""
+        name = dotted_name(func)
+        if name is None:
+            return None
+        parts = name.split(".")
+        if len(parts) == 1:
+            return self.api_funcs.get(parts[0])
+        head, leaf = parts[0], parts[-1]
+        if leaf not in TELEMETRY_API_FUNCS:
+            return None
+        if head in self.telemetry_modules and len(parts) == 2:
+            return leaf
+        # `repro.telemetry.inc(...)` via plain `import repro.telemetry`.
+        if ".".join(parts[:-1]).endswith("telemetry"):
+            return leaf
+        return None
+
+    def is_registry_constant(self, node: ast.AST) -> bool:
+        """Whether ``node`` reads a constant off the names module."""
+        if not isinstance(node, ast.Attribute):
+            return False
+        if not node.attr.isupper():
+            return False
+        base = dotted_name(node.value)
+        if base is None:
+            return False
+        parts = base.split(".")
+        if parts[0] in self.names_modules and len(parts) == 1:
+            return True
+        # `telemetry.names.CONST` / `repro.telemetry.names.CONST`.
+        return parts[-1] == "names" and (
+            parts[0] in self.telemetry_modules
+            or base.endswith("telemetry.names")
+        )
+
+
+class TelemetryNameDiscipline(Rule):
+    """RL006: metric names are registry constants, never built inline."""
+
+    rule_id = "RL006"
+    title = "telemetry metric-name discipline"
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        if source.module == TELEMETRY_NAMES_MODULE:
+            yield from self._check_registry_module(source)
+            return
+        if source.is_test:
+            return
+        if source.module.startswith(TELEMETRY_PACKAGE):
+            # The subsystem itself handles names as runtime values.
+            return
+        yield from self._check_call_sites(source)
+
+    # -- call sites ------------------------------------------------------
+
+    def _check_call_sites(self, source: SourceFile) -> Iterator[Finding]:
+        aliases = _TelemetryAliases(source.tree)
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            api = aliases.api_call(node.func)
+            if api is None:
+                continue
+            name_arg = self._name_argument(node)
+            if name_arg is None:
+                continue
+            problem = self._name_problem(aliases, name_arg)
+            if problem is not None:
+                yield self.finding(
+                    source,
+                    name_arg,
+                    f"metric name passed to `{api}()` {problem}; use a "
+                    f"constant from `{TELEMETRY_NAMES_MODULE}`",
+                )
+
+    def _name_argument(self, node: ast.Call) -> Optional[ast.AST]:
+        if node.args:
+            return node.args[0]
+        for keyword in node.keywords:
+            if keyword.arg == "name":
+                return keyword.value
+        return None
+
+    def _name_problem(
+        self, aliases: _TelemetryAliases, node: ast.AST
+    ) -> Optional[str]:
+        if aliases.is_registry_constant(node):
+            return None
+        if isinstance(node, ast.JoinedStr):
+            return "is an f-string"
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            return "is a raw string literal"
+        if isinstance(node, ast.BinOp):
+            return "is built by string arithmetic"
+        if isinstance(node, ast.Call):
+            return "is computed by a call"
+        return "is not a registry constant"
+
+    # -- the registry module itself --------------------------------------
+
+    def _check_registry_module(
+        self, source: SourceFile
+    ) -> Iterator[Finding]:
+        seen: Dict[str, Tuple[str, int]] = {}
+        for node in source.tree.body:
+            target = self._constant_target(node)
+            if target is None:
+                continue
+            name, value_node = target
+            if isinstance(value_node, ast.Constant) and isinstance(
+                value_node.value, str
+            ):
+                value = value_node.value
+                if METRIC_NAME_RE.match(value) is None:
+                    yield self.finding(
+                        source,
+                        value_node,
+                        f"metric name {value!r} is not dot.scoped "
+                        "lower-case (expected `layer.subsystem.metric`)",
+                    )
+                elif value in seen:
+                    other, line = seen[value]
+                    yield self.finding(
+                        source,
+                        value_node,
+                        f"metric name {value!r} duplicates `{other}` "
+                        f"(line {line})",
+                    )
+                else:
+                    seen[value] = (name, node.lineno)
+            else:
+                yield self.finding(
+                    source,
+                    node,
+                    f"registry constant `{name}` must be a plain string "
+                    "literal",
+                )
+
+    def _constant_target(
+        self, node: ast.stmt
+    ) -> Optional[Tuple[str, Optional[ast.AST]]]:
+        """(name, value) of an UPPER_CASE module-level assignment."""
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            value = node.value
+        elif isinstance(node, ast.AnnAssign):
+            target = node.target
+            value = node.value
+        else:
+            return None
+        if not isinstance(target, ast.Name):
+            return None
+        name = target.id
+        if name.startswith("__") or not name.isupper():
+            return None
+        return name, value
