@@ -1,0 +1,67 @@
+"""Benches for the simulator hot path (the incremental-refresh engine).
+
+Two single-workload replays isolate the event loop from the rest of the
+evaluation pipeline:
+
+* **daemon-on** — the paper's full monitoring daemon (``optimal``),
+  whose frequent monitor ticks are exactly the clean refreshes the
+  incremental engine elides; this is the bench the ≥3x hot-path
+  speedup target is measured on;
+* **ondemand baseline** — the stock governor (``baseline``), dominated
+  by arrival/finish/phase events that genuinely dirty the state, as a
+  lower bound on what incrementality can save.
+
+Both assert the replay's invariants so a future regression cannot trade
+correctness for speed silently.
+"""
+
+from repro.core.configurations import run_configuration
+from repro.platform.specs import get_spec
+from repro.workloads.generator import ServerWorkloadGenerator
+
+from conftest import EVALUATION_DURATION_S, EVALUATION_SEED, run_once
+
+import pytest
+
+
+@pytest.fixture(scope="module")
+def workload3():
+    """One deterministic 900 s server workload for the 32-core chip."""
+    spec = get_spec("xgene3")
+    generator = ServerWorkloadGenerator(
+        max_cores=spec.n_cores, seed=EVALUATION_SEED
+    )
+    return generator.generate(EVALUATION_DURATION_S)
+
+
+def test_sim_daemon_on_xgene3(benchmark, workload3, policy3):
+    """Daemon-on replay: monitor ticks dominate the event stream."""
+    result = run_once(
+        benchmark,
+        run_configuration,
+        "xgene3",
+        workload3,
+        "optimal",
+        policy=policy3,
+    )
+    assert result.violations == []
+    assert all(p.finish_s is not None for p in result.processes)
+    assert result.energy_j > 0
+    benchmark.extra_info["processes"] = len(result.processes)
+    benchmark.extra_info["makespan_s"] = result.makespan_s
+
+
+def test_sim_ondemand_baseline_xgene3(benchmark, workload3, policy3):
+    """Baseline replay: mostly state-dirtying arrival/finish events."""
+    result = run_once(
+        benchmark,
+        run_configuration,
+        "xgene3",
+        workload3,
+        "baseline",
+        policy=policy3,
+    )
+    assert all(p.finish_s is not None for p in result.processes)
+    assert result.energy_j > 0
+    benchmark.extra_info["processes"] = len(result.processes)
+    benchmark.extra_info["makespan_s"] = result.makespan_s

@@ -18,6 +18,7 @@ spreaded a *workload-dependent* energy trade-off (Fig. 7).
 from __future__ import annotations
 
 import enum
+import functools
 import math
 from typing import Iterable, List, Sequence, Tuple
 
@@ -111,12 +112,13 @@ def pick_free_cores(
             f"need {nthreads} cores but only {len(free)} free"
         )
     free_set = set(free)
+    siblings = _sibling_map(spec)
     chosen: List[int] = []
     for _ in range(nthreads):
         if allocation is Allocation.CLUSTERED:
-            core = _best_clustered_core(spec, free_set, chosen)
+            core = _best_clustered_core(spec, siblings, free_set, chosen)
         else:
-            core = _best_spreaded_core(spec, free_set, chosen)
+            core = _best_spreaded_core(spec, siblings, free_set, chosen)
         chosen.append(core)
         free_set.remove(core)
     return tuple(chosen)
@@ -127,17 +129,28 @@ def _siblings(spec: ChipSpec, core: int) -> Tuple[int, ...]:
     return tuple(c for c in spec.cores_of_pmd(pmd) if c != core)
 
 
-def _best_clustered_core(spec, free_set, chosen) -> int:
+@functools.lru_cache(maxsize=16)
+def _sibling_map(spec: ChipSpec) -> Tuple[Tuple[int, ...], ...]:
+    """core id -> the other cores of its PMD, for every core.
+
+    The greedy placement ranks every free core once per placed thread,
+    so the sibling lookup sits on the daemon's replanning hot path;
+    the map is a pure function of the (immutable, hashable) spec.
+    """
+    return tuple(_siblings(spec, c) for c in range(spec.n_cores))
+
+
+def _best_clustered_core(spec, siblings, free_set, chosen) -> int:
     # Prefer a free core whose sibling is already busy or chosen (its PMD
     # is utilized anyway), then the lowest-numbered free core.
     def rank(core: int) -> Tuple[int, int]:
-        sibling_free = all(s in free_set for s in _siblings(spec, core))
+        sibling_free = all(s in free_set for s in siblings[core])
         return (1 if sibling_free else 0, core)
 
     return min(free_set, key=rank)
 
 
-def _best_spreaded_core(spec, free_set, chosen) -> int:
+def _best_spreaded_core(spec, siblings, free_set, chosen) -> int:
     # Prefer a free core on a PMD whose siblings are all free and not
     # already chosen (a fresh PMD), then the lowest-numbered free core.
     chosen_pmds = {spec.pmd_of_core(c) for c in chosen}
@@ -146,7 +159,7 @@ def _best_spreaded_core(spec, free_set, chosen) -> int:
         pmd = spec.pmd_of_core(core)
         fresh = (
             pmd not in chosen_pmds
-            and all(s in free_set for s in _siblings(spec, core))
+            and all(s in free_set for s in siblings[core])
         )
         return (0 if fresh else 1, core)
 

@@ -92,6 +92,11 @@ class Chip:
         self.pmu = Pmu(spec)
         #: core_id -> occupant tag (opaque to the chip; usually a pid).
         self._occupants: Dict[int, object] = {}
+        #: Monotonic change counter of the occupancy map. Bumped only
+        #: when the core->occupant mapping actually mutates, so callers
+        #: (the simulator's incremental refresh) can detect placement
+        #: changes without diffing the map.
+        self.occupancy_version = 0
 
     # -- factory -----------------------------------------------------------
 
@@ -134,18 +139,24 @@ class Chip:
             raise SchedulingError(
                 f"core {core_id} already occupied by {current!r}"
             )
+        if current is None:
+            self.occupancy_version += 1
         self._occupants[core_id] = occupant
 
     def release(self, core_id: int) -> None:
         """Mark a core as idle."""
-        self._occupants.pop(core_id, None)
+        if self._occupants.pop(core_id, None) is not None:
+            self.occupancy_version += 1
 
     def release_occupant(self, occupant: object) -> None:
         """Release every core held by ``occupant``."""
-        for core_id in [
+        released = [
             c for c, o in self._occupants.items() if o == occupant
-        ]:
+        ]
+        for core_id in released:
             del self._occupants[core_id]
+        if released:
+            self.occupancy_version += 1
 
     def occupant_of(self, core_id: int) -> Optional[object]:
         """Occupant tag of a core, or ``None`` when idle."""
@@ -196,6 +207,7 @@ class Chip:
     def reset(self) -> None:
         """Return to power-on state: nominal voltage, fmax, all cores idle."""
         self._occupants.clear()
+        self.occupancy_version += 1
         self.slimpro.reset_to_nominal()
         self.cppc.request_all(self.spec.fmax_hz)
         self.pmu.reset()

@@ -13,11 +13,25 @@ compares the rail voltage against the ground-truth safe Vmin of the new
 configuration, recording (or raising on) undervolting violations. The
 paper's fail-safe daemon never violates; error-prone predictive policies
 do, which is what the fail-safe ablation measures.
+
+The hot path is *incremental*: every model evaluation in the refresh
+(contention, execution states, activity map, power, safe-Vmin audit) is
+a pure function of inputs tracked by cheap version counters — core
+occupancy, per-PMD clocks, the rail voltage and each process's active
+behaviour profile. A refresh whose inputs did not change reuses the
+cached results, which are bit-identical to a recomputation; only the
+finish/phase times (which depend on the advancing clock) are recomputed,
+and their cancel+schedule pair is elided when the recomputed time equals
+the scheduled one. ``ServerSystem(full_refresh=True)`` — or the
+``REPRO_SIM_FULL_REFRESH=1`` environment variable — disables all of it
+and runs the original recompute-everything path; the equivalence
+property suite asserts both modes produce identical results.
 """
 
 from __future__ import annotations
 
-from collections import deque
+import os
+from collections import Counter, deque
 from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
@@ -34,6 +48,7 @@ from ..vmin.droop import DroopModel
 from ..vmin.model import VminModel
 from ..workloads.generator import Workload
 from ..workloads.phases import resolve_benchmark
+from ..workloads.profiles import BenchmarkProfile
 from .engine import Event, EventQueue, SimClock
 from .process import SimProcess, WorkloadClass
 from .scheduler import SpreadScheduler
@@ -41,6 +56,11 @@ from .tracing import TimelineTrace, TraceSample
 
 #: Remaining-work fractions below this are "done" (float guard).
 REMAINING_EPS = 1e-9
+
+#: Bound on the keyed execution-state cache; cleared wholesale when
+#: exceeded (distinct (behaviour, freq, nthreads, sharing, contention)
+#: operating points seen over one run).
+EXEC_STATE_CACHE_MAX = 4096
 
 
 @dataclass(frozen=True, slots=True)
@@ -122,8 +142,20 @@ class Controller:
         """Periodic monitor callback (``monitor_period_s``)."""
 
 
+def _full_refresh_forced() -> bool:
+    """True when the environment forces the recompute-everything oracle."""
+    return os.environ.get("REPRO_SIM_FULL_REFRESH", "") not in ("", "0")
+
+
 class ServerSystem:
-    """Replays one workload on one chip under one policy controller."""
+    """Replays one workload on one chip under one policy controller.
+
+    ``full_refresh=True`` (or ``REPRO_SIM_FULL_REFRESH=1`` in the
+    environment) disables the incremental refresh, the execution-state
+    cache, reschedule elision and same-timestamp event coalescing, and
+    recomputes the entire system state after every event — the original
+    hot path, kept as the ground-truth oracle for equivalence tests.
+    """
 
     def __init__(
         self,
@@ -136,6 +168,7 @@ class ServerSystem:
         fault_policy: str = "record",
         trace_period_s: Optional[float] = 1.0,
         thermal_model: Optional[ThermalModel] = None,
+        full_refresh: bool = False,
     ):
         if fault_policy not in ("record", "raise", "off"):
             raise SimulationError(f"unknown fault policy {fault_policy!r}")
@@ -147,6 +180,11 @@ class ServerSystem:
         self.vmin_model = vmin_model or VminModel.for_chip(chip)
         self.droop_model = droop_model or DroopModel(chip.spec)
         self.fault_policy = fault_policy
+        self.full_refresh = full_refresh or _full_refresh_forced()
+        #: Coalescing batches same-time events behind one refresh; the
+        #: ``raise`` policy must keep the old one-refresh-per-event flow
+        #: so a crash surfaces at the same mid-batch instant it used to.
+        self._coalesce = not self.full_refresh and fault_policy != "raise"
         #: Optional junction-temperature tracker; None = the calibration
         #: temperature everywhere (the paper's reporting condition).
         self.thermal = thermal_model
@@ -181,9 +219,43 @@ class ServerSystem:
         self._pending_arrivals = 0
         self._crashed = False
         #: Events dispatched per kind + controller hook invocations;
-        #: plain dict/int counts, flushed into telemetry at end of run.
-        self._event_counts: Dict[str, int] = {}
+        #: preallocated Counter/int slots, flushed into telemetry at
+        #: end of run.
+        self._event_counts: Counter[str] = Counter()
         self._controller_calls = 0
+        # -- incremental-refresh state -----------------------------------
+        #: Running processes in ``self.processes`` order, maintained
+        #: eagerly at the two membership mutation points (admit/finish).
+        self._running: List[SimProcess] = []
+        self._order: Dict[int, int] = {
+            p.pid: i for i, p in enumerate(self.processes)
+        }
+        #: Inputs of the last full refresh, reused verbatim while the
+        #: version counters below say nothing relevant changed.
+        self._state: Optional[ChipState] = None
+        self._freqs: Dict[int, int] = {}
+        self._behaviours: Dict[int, BenchmarkProfile] = {}
+        self._activity_map: Dict[int, float] = {}
+        self._bw_util = 0.0
+        self._required_base = 0.0
+        self._occ_version = -1
+        self._freq_version = -1
+        self._volt_version = -1
+        #: Cached droop-generation inputs (derived from the chip state
+        #: and execution states, fixed between refreshes).
+        self._droop_pmds = 0
+        self._droop_freq = 0
+        self._droop_class = None
+        self._droop_activity = 0.0
+        #: (behaviour id, freq, nthreads, shares_pmd, contention) ->
+        #: execution state. Keys hold the behaviour object itself so
+        #: its id() stays valid for the cache's lifetime.
+        self._exec_cache: Dict[
+            Tuple[BenchmarkProfile, int, int, bool, float], ExecutionState
+        ] = {}
+        self._refreshes_full = 0
+        self._refreshes_incremental = 0
+        self._reschedules_elided = 0
 
     # -- public API used by controllers -----------------------------------------
 
@@ -194,7 +266,9 @@ class ServerSystem:
 
     def running_processes(self) -> List[SimProcess]:
         """Processes currently occupying cores."""
-        return [p for p in self.processes if p.is_running]
+        if self.full_refresh:
+            return [p for p in self.processes if p.is_running]
+        return list(self._running)
 
     def migrate(self, process: SimProcess, cores: Sequence[int]) -> None:
         """Move a running process to new cores (controller hook API)."""
@@ -265,17 +339,28 @@ class ServerSystem:
                 self.controller.monitor_period_s, "tick"
             )
         self._refresh()
-        while self.events:
-            event = self.events.pop()
+        events = self.events
+        while events:
+            event = events.pop()
             self._integrate_to(event.time_s)
             self.clock.advance_to(event.time_s)
             self._dispatch(event)
+            if self._coalesce:
+                batched = events.pop_at(event.time_s)
+                while batched is not None:
+                    # The audited instants of the uncoalesced flow: one
+                    # safety check per intermediate same-time event.
+                    self._audit_step()
+                    self._dispatch(batched)
+                    batched = events.pop_at(event.time_s)
             self._refresh()
             if self._crashed:
                 break
         makespan = self._makespan()
-        # Charge the idle tail (if tracing sampled past the last finish,
-        # energy was already integrated up to the last event only).
+        # Energy integrates exactly to the last dispatched event — which
+        # may trail the last finish by up to one monitor period (idle
+        # ticks), but never covers the idle time past the final event
+        # even when tracing sampled beyond it.
         result = SystemResult(
             makespan_s=makespan,
             energy_j=self.meter.energy_j,
@@ -292,8 +377,7 @@ class ServerSystem:
     # -- event handling ----------------------------------------------------------
 
     def _dispatch(self, event: Event) -> None:
-        counts = self._event_counts
-        counts[event.kind] = counts.get(event.kind, 0) + 1
+        self._event_counts[event.kind] += 1
         if event.kind == "arrival":
             self._handle_arrival(self._by_pid[event.payload])
         elif event.kind == "finish":
@@ -320,9 +404,20 @@ class ServerSystem:
         process.start(self.now, tuple(cores))
         for core in process.cores:
             self.chip.occupy(core, process.pid)
+        self._running_insert(process)
         self._controller_calls += 1
         self.controller.on_process_started(process)
         return True
+
+    def _running_insert(self, process: SimProcess) -> None:
+        """Keep ``_running`` sorted by position in ``self.processes``."""
+        order = self._order
+        rank = order[process.pid]
+        running = self._running
+        i = len(running)
+        while i > 0 and order[running[i - 1].pid] > rank:
+            i -= 1
+        running.insert(i, process)
 
     def _handle_finish(self, event: Event) -> None:
         process = self._by_pid[event.payload]
@@ -332,6 +427,7 @@ class ServerSystem:
         del self._finish_events[process.pid]
         self.chip.release_occupant(process.pid)
         process.finish(self.now)
+        self._running.remove(process)
         self._controller_calls += 1
         self.controller.on_process_finished(process)
         self._admit_queued()
@@ -355,11 +451,11 @@ class ServerSystem:
     def _handle_tick(self) -> None:
         self._controller_calls += 1
         self.controller.on_tick()
-        work_left = (
-            self._pending_arrivals > 0
-            or self.queue
-            or any(p.is_running for p in self.processes)
-        )
+        if self.full_refresh:
+            busy = any(p.is_running for p in self.processes)
+        else:
+            busy = bool(self._running)
+        work_left = self._pending_arrivals > 0 or bool(self.queue) or busy
         if work_left and self.controller.monitor_period_s:
             self.events.schedule(
                 self.now + self.controller.monitor_period_s, "tick"
@@ -372,11 +468,22 @@ class ServerSystem:
         if dt <= 0:
             self._sample_trace_until(time_s)
             return
-        state = self.chip.state()
-        running = self.running_processes()
+        oracle = self.full_refresh
+        if oracle:
+            state = self.chip.state()
+            running = self.running_processes()
+        else:
+            state = self._state if self._state is not None else self.chip.state()
+            running = self._running
+        proc_states = self._proc_states
+        freqs = self._freqs
+        pmu = self.chip.pmu
         for process in running:
-            exec_state = self._proc_states[process.pid]
-            freq = self.process_frequency_hz(process)
+            exec_state = proc_states[process.pid]
+            if oracle:
+                freq = self.process_frequency_hz(process)
+            else:
+                freq = freqs[process.pid]
             cycles = freq * dt * process.nthreads
             accesses = (
                 exec_state.l3_rate_per_mcycles * freq * dt / 1e6
@@ -384,7 +491,7 @@ class ServerSystem:
             process.counters.advance(cycles, accesses)
             for core in process.cores:
                 core_freq = state.frequency_of_core(core)
-                self.chip.pmu.core(core).advance(
+                pmu.core(core).advance(
                     cycles=core_freq * dt,
                     instructions=core_freq * dt * exec_state.effective_activity,
                     l3_accesses=accesses / process.nthreads,
@@ -405,17 +512,27 @@ class ServerSystem:
         running: List[SimProcess],
         dt: float,
     ) -> None:
-        pmds = state.active_pmds
-        if not pmds:
-            return
-        cycles = state.max_active_frequency() * dt
-        activity = sum(
-            self._proc_states[p.pid].effective_activity for p in running
-        ) / max(1, len(running))
+        if self.full_refresh:
+            pmds = state.active_pmds
+            if not pmds:
+                return
+            n_pmds = len(pmds)
+            cycles = state.max_active_frequency() * dt
+            freq_class = state.worst_active_frequency_class()
+            activity = sum(
+                self._proc_states[p.pid].effective_activity for p in running
+            ) / max(1, len(running))
+        else:
+            n_pmds = self._droop_pmds
+            if not n_pmds:
+                return
+            cycles = self._droop_freq * dt
+            freq_class = self._droop_class
+            activity = self._droop_activity
         events = self.droop_model.events_for_interval(
-            utilized_pmds=len(pmds),
+            utilized_pmds=n_pmds,
             cycles=cycles,
-            freq_class=state.worst_active_frequency_class(),
+            freq_class=freq_class,
             activity=max(0.05, activity),
         )
         for bin_mv, count in events.items():
@@ -426,7 +543,16 @@ class ServerSystem:
             return
         while self._next_sample_s <= time_s + 1e-12:
             counts = self._class_counts()
-            state = self.chip.state()
+            if self.full_refresh:
+                state = self.chip.state()
+                n_running = len(self.running_processes())
+            else:
+                state = (
+                    self._state
+                    if self._state is not None
+                    else self.chip.state()
+                )
+                n_running = len(self._running)
             active = state.active_pmds
             mean_freq = (
                 sum(state.pmd_frequencies_hz[p] for p in active) / len(active)
@@ -438,7 +564,7 @@ class ServerSystem:
                     time_s=self._next_sample_s,
                     power_w=self._power_w,
                     busy_cores=len(state.active_cores),
-                    running_processes=len(self.running_processes()),
+                    running_processes=n_running,
                     cpu_intensive=counts[0],
                     memory_intensive=counts[1],
                     voltage_mv=state.voltage_mv,
@@ -449,7 +575,10 @@ class ServerSystem:
 
     def _class_counts(self) -> Tuple[int, int]:
         cpu = mem = 0
-        for process in self.running_processes():
+        running = (
+            self.running_processes() if self.full_refresh else self._running
+        )
+        for process in running:
             label = process.observed_class
             if label is WorkloadClass.UNKNOWN:
                 label = process.reference_class
@@ -462,47 +591,131 @@ class ServerSystem:
     # -- state refresh ----------------------------------------------------------------
 
     def _refresh(self) -> None:
-        """Recompute rates, power and completion times after any change."""
+        """Recompute rates, power and completion times after any change.
+
+        The incremental path recomputes only what its inputs invalidated:
+
+        * occupancy / per-PMD clock / behaviour-profile changes — full
+          recompute (contention couples every process to every other);
+        * rail-voltage changes (and thermal coupling) — power and the
+          safety audit only; execution states are voltage-independent;
+        * nothing changed — completion times (the clock advanced) and
+          the safety audit against the cached safe-Vmin level.
+        """
+        if self.full_refresh:
+            self._refreshes_full += 1
+            self._recompute_all()
+            return
+        chip = self.chip
+        dirty = (
+            chip.occupancy_version != self._occ_version
+            or chip.cppc.transition_count() != self._freq_version
+        )
+        if not dirty:
+            behaviours = self._behaviours
+            for process in self._running:
+                if process.current_profile() is not behaviours[process.pid]:
+                    dirty = True
+                    break
+        if dirty:
+            self._refreshes_full += 1
+            self._recompute_all()
+            return
+        self._refreshes_incremental += 1
+        state = self._state
+        volt_version = chip.slimpro.transition_count()
+        if volt_version != self._volt_version:
+            self._volt_version = volt_version
+            state = chip.state()
+            self._state = state
+            self._recompute_power(state)
+        elif self.thermal is not None:
+            # Temperature moves every interval: leakage and the thermal
+            # Vmin shift must track it even on otherwise-clean refreshes.
+            self._recompute_power(state)
+        self._reschedule_completions(self._running)
+        self._audit_cached(state)
+
+    def _recompute_all(self) -> None:
+        """Full refresh: rebuild every derived quantity from the chip."""
         state = self.chip.state()
-        running = self.running_processes()
+        if self.full_refresh:
+            running = [p for p in self.processes if p.is_running]
+        else:
+            running = self._running
+        spec = self.spec
         demands: List[float] = []
         freqs: Dict[int, int] = {}
-        behaviours: Dict[int, object] = {}
+        behaviours: Dict[int, BenchmarkProfile] = {}
         for process in running:
             freq = min(state.frequency_of_core(c) for c in process.cores)
             freqs[process.pid] = freq
             behaviour = process.current_profile()
             behaviours[process.pid] = behaviour
-            demand = bandwidth_demand_gbs(behaviour, self.spec, freq)
+            demand = bandwidth_demand_gbs(behaviour, spec, freq)
             demands.extend([demand] * process.nthreads)
-        crowd = contention_factor(self.spec, demands)
-        bw_util = bandwidth_utilization(self.spec, demands)
+        crowd = contention_factor(spec, demands)
+        bw_util = bandwidth_utilization(spec, demands)
         activity_map: Dict[int, float] = {}
+        cache = None if self.full_refresh else self._exec_cache
         self._proc_states = {}
         for process in running:
             shares = self._shares_pmd(process)
-            exec_state = execution_state(
-                behaviours[process.pid],
-                self.spec,
-                freqs[process.pid],
-                nthreads=process.nthreads,
-                shares_pmd=shares,
-                contention=crowd,
+            behaviour = behaviours[process.pid]
+            exec_state = None
+            key = (
+                behaviour, freqs[process.pid], process.nthreads, shares, crowd
             )
+            if cache is not None:
+                exec_state = cache.get(key)
+            if exec_state is None:
+                exec_state = execution_state(
+                    behaviour,
+                    spec,
+                    freqs[process.pid],
+                    nthreads=process.nthreads,
+                    shares_pmd=shares,
+                    contention=crowd,
+                )
+                if cache is not None:
+                    if len(cache) >= EXEC_STATE_CACHE_MAX:
+                        cache.clear()
+                    cache[key] = exec_state
             self._proc_states[process.pid] = exec_state
             for core in process.cores:
                 activity_map[core] = exec_state.effective_activity
+        self._state = state
+        self._freqs = freqs
+        self._behaviours = behaviours
+        self._activity_map = activity_map
+        self._bw_util = bw_util
+        self._occ_version = self.chip.occupancy_version
+        self._freq_version = self.chip.cppc.transition_count()
+        self._volt_version = self.chip.slimpro.transition_count()
+        pmds = state.active_pmds
+        self._droop_pmds = len(pmds)
+        if pmds:
+            self._droop_freq = state.max_active_frequency()
+            self._droop_class = state.worst_active_frequency_class()
+            self._droop_activity = sum(
+                self._proc_states[p.pid].effective_activity for p in running
+            ) / max(1, len(running))
+        self._recompute_power(state)
+        self._reschedule_completions(running)
+        self._audit_voltage(state, running)
+
+    def _recompute_power(self, state: ChipState) -> None:
         leak_multiplier = (
             self.thermal.leakage_multiplier()
             if self.thermal is not None
             else 1.0
         )
         self._power_w = self.power_model.chip_power(
-            state, activity_map, bw_util,
+            state,
+            self._activity_map,
+            self._bw_util,
             leakage_multiplier=leak_multiplier,
         ).total_w
-        self._reschedule_completions(running)
-        self._audit_voltage(state, running)
 
     def _shares_pmd(self, process: SimProcess) -> bool:
         for core in process.cores:
@@ -512,32 +725,57 @@ class ServerSystem:
         return False
 
     def _reschedule_completions(self, running: List[SimProcess]) -> None:
+        now = self.now
+        elide = not self.full_refresh
         for process in running:
-            old = self._finish_events.get(process.pid)
-            if old is not None:
-                self.events.cancel(old)
             exec_state = self._proc_states[process.pid]
             remaining_s = max(
                 0.0, process.remaining_fraction * exec_state.duration_s
             )
             if process.remaining_fraction <= REMAINING_EPS:
                 remaining_s = 0.0
-            self._finish_events[process.pid] = self.events.schedule(
-                self.now + remaining_s, "finish", process.pid
-            )
+            time_s = now + remaining_s
+            old = self._finish_events.get(process.pid)
+            if (
+                elide
+                and old is not None
+                and old.time_s == time_s
+                and time_s > now
+            ):
+                # Identical finish instant strictly in the future: the
+                # pending event already encodes it; skip the churn.
+                self._reschedules_elided += 1
+            else:
+                if old is not None:
+                    self.events.cancel(old)  # reprolint: disable=RL005 -- time changed
+                self._finish_events[process.pid] = self.events.schedule(
+                    time_s, "finish", process.pid
+                )
             self._reschedule_phase(process, exec_state)
 
     def _reschedule_phase(self, process, exec_state) -> None:
-        old = self._phase_events.pop(process.pid, None)
-        if old is not None:
-            self.events.cancel(old)
+        old = self._phase_events.get(process.pid)
         boundary = process.next_phase_boundary()
         if boundary is None:
+            if old is not None:
+                del self._phase_events[process.pid]
+                self.events.cancel(old)
             return
         # Progress advances at 1/duration done-fractions per second.
         eta_s = (boundary - process.done_fraction) * exec_state.duration_s
+        time_s = self.now + max(0.0, eta_s)
+        if (
+            not self.full_refresh
+            and old is not None
+            and old.time_s == time_s
+            and time_s > self.now
+        ):
+            self._reschedules_elided += 1
+            return
+        if old is not None:
+            self.events.cancel(old)  # reprolint: disable=RL005 -- time changed
         self._phase_events[process.pid] = self.events.schedule(
-            self.now + max(0.0, eta_s), "phase", process.pid
+            time_s, "phase", process.pid
         )
 
     def _audit_voltage(
@@ -551,8 +789,45 @@ class ServerSystem:
         required = self.vmin_model.safe_vmin_for_state(
             state, workload_delta_mv=workload_delta
         )
+        #: Thermal-free safe level; valid until occupancy, clocks or
+        #: behaviours change (it does not depend on the rail voltage).
+        self._required_base = required
         if self.thermal is not None:
             required += self.thermal.vmin_shift_mv()
+        self._check_rail(state, required)
+
+    def _audit_cached(self, state: ChipState) -> None:
+        """Clean-refresh audit against the cached safe-Vmin level."""
+        if self.fault_policy == "off" or not self._running:
+            return
+        required = self._required_base
+        if self.thermal is not None:
+            required += self.thermal.vmin_shift_mv()
+        self._check_rail(state, required)
+
+    def _audit_step(self) -> None:
+        """Safety audit between coalesced same-timestamp events.
+
+        The uncoalesced flow refreshed (and audited) after every event;
+        coalescing keeps exactly those audit instants so the violation
+        record stream is unchanged, without paying for the intermediate
+        rate/power recomputations that the zero-length interval never
+        observes.
+        """
+        if self.fault_policy == "off" or not self._running:
+            return
+        state = self.chip.state()
+        workload_delta = max(
+            p.current_profile().vmin_delta_mv for p in self._running
+        )
+        required = self.vmin_model.safe_vmin_for_state(
+            state, workload_delta_mv=workload_delta
+        )
+        if self.thermal is not None:
+            required += self.thermal.vmin_shift_mv()
+        self._check_rail(state, required)
+
+    def _check_rail(self, state: ChipState, required: float) -> None:
         if state.voltage_mv < required - 1e-9:
             record = ViolationRecord(
                 time_s=self.now,
@@ -617,6 +892,14 @@ class ServerSystem:
             result.frequency_transitions,
         )
         telemetry.inc(metric_names.SIM_RUNS)
+        telemetry.inc(metric_names.SIM_REFRESH_FULL, self._refreshes_full)
+        telemetry.inc(
+            metric_names.SIM_REFRESH_INCREMENTAL,
+            self._refreshes_incremental,
+        )
+        telemetry.inc(
+            metric_names.SIM_RESCHEDULE_ELIDED, self._reschedules_elided
+        )
         if self.trace is not None:
             telemetry.inc(
                 metric_names.SIM_TRACE_SAMPLES, len(self.trace.samples)

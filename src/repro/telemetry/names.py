@@ -33,6 +33,9 @@ SIM_VIOLATIONS = "sim.rail.violations"
 SIM_MAKESPAN_S = "sim.run.makespan_sim_s"
 SIM_ENERGY_J = "sim.run.energy_j"
 SIM_RUNS = "sim.run.completed"
+SIM_REFRESH_FULL = "sim.refresh.full"
+SIM_REFRESH_INCREMENTAL = "sim.refresh.incremental"
+SIM_RESCHEDULE_ELIDED = "sim.reschedule.elided"
 
 # -- online monitoring daemon (repro.core) ------------------------------------
 

@@ -119,9 +119,20 @@ class DroopModel:
     #: zero: Fig. 6 shows "almost zero droops" there).
     ABOVE_CEILING_RATE = 0.02
 
+    #: Bound on the memoized jitter-free rate table (distinct activity
+    #: floats seen over a run); cleared wholesale when exceeded.
+    FLAT_RATE_CACHE_MAX = 1024
+
     def __init__(self, spec: ChipSpec, seed: int = 0):
         self.spec = spec
         self._seed = seed
+        #: (utilized_pmds, freq_class, activity) -> jitter-free rates.
+        #: The jitter-free computation is pure, so memoizing it returns
+        #: the exact same floats the direct evaluation would; the fluid
+        #: simulator calls it once per integration interval.
+        self._flat_rates: Dict[
+            Tuple[int, FrequencyClass, float], Dict[Tuple[int, int], float]
+        ] = {}
 
     def rates_per_mcycles(
         self,
@@ -141,8 +152,17 @@ class DroopModel:
         """
         if activity <= 0:
             raise ConfigurationError("activity factor must be positive")
+        if not jitter:
+            key = (utilized_pmds, freq_class, activity)
+            cached = self._flat_rates.get(key)
+            if cached is not None:
+                return dict(cached)
         ceiling = droop_bin_index(self.spec, utilized_pmds)
-        rng = random.Random(f"{self._seed}/{workload_name}/{utilized_pmds}")
+        rng = (
+            random.Random(f"{self._seed}/{workload_name}/{utilized_pmds}")
+            if jitter
+            else None
+        )
         rates: Dict[Tuple[int, int], float] = {}
         freq_scale = {
             FrequencyClass.HIGH: 1.0,
@@ -160,9 +180,13 @@ class DroopModel:
                     * activity
                     * freq_scale
                 )
-            if jitter and rate > self.ABOVE_CEILING_RATE:
+            if rng is not None and rate > self.ABOVE_CEILING_RATE:
                 rate *= 1.0 + 0.25 * (rng.random() - 0.5)
             rates[bin_] = rate
+        if not jitter:
+            if len(self._flat_rates) >= self.FLAT_RATE_CACHE_MAX:
+                self._flat_rates.clear()
+            self._flat_rates[key] = dict(rates)
         return rates
 
     def events_for_interval(

@@ -19,3 +19,17 @@ def exactly_zero(pfail: float) -> bool:
 
 def not_one(ratio: float) -> bool:
     return ratio != 1.0  # line 21
+
+
+class Rescheduler:
+    def __init__(self, events):
+        self.events = events
+
+    def retime(self, old, time_s):
+        self.events.cancel(old)  # line 29
+        return self.events.schedule(time_s, "finish")
+
+    def retime_guarded(self, old, time_s):
+        if old is not None:
+            self.events.cancel(old)  # line 34
+        return self.events.schedule(time_s, "finish")

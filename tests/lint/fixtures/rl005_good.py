@@ -24,3 +24,20 @@ def near_one(ratio: float) -> bool:
 
 def int_equality(count: int) -> bool:
     return count == 0
+
+
+class Rescheduler:
+    def __init__(self, events):
+        self.events = events
+
+    def retime(self, old, time_s):
+        # Not adjacent: bookkeeping separates the cancel from the
+        # schedule, which is the shape of an elision-guarded site.
+        if old is not None:
+            self.events.cancel(old)
+        self._pending = None
+        return self.events.schedule(time_s, "finish")
+
+    def hand_off(self, old, time_s, other_queue):
+        self.events.cancel(old)
+        return other_queue.schedule(time_s, "finish")

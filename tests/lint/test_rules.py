@@ -112,6 +112,8 @@ class TestRL005Hygiene:
             ("RL005", 12, 0),   # @dataclass(frozen=True) without slots
             ("RL005", 17, 11),  # pfail == 0.0
             ("RL005", 21, 11),  # ratio != 1.0
+            ("RL005", 29, 8),   # cancel immediately before schedule
+            ("RL005", 34, 12),  # guarded cancel before sibling schedule
         ]
 
     def test_good_fixture_clean(self):
@@ -122,7 +124,8 @@ class TestRL005Hygiene:
         marks, _ = lint_fixture(
             "rl005_bad.py", "repro.experiments.fixture"
         )
-        # Outside the hot modules only the float comparisons remain.
+        # Outside the hot modules only the float comparisons remain —
+        # the slots and cancel/schedule checks are repro.sim-scoped.
         assert marks == [("RL005", 17, 11), ("RL005", 21, 11)]
 
     def test_float_eq_allowed_in_tests(self):

@@ -91,8 +91,10 @@ class TestSystemInvariants:
         ).run()
         # The daemon trades a bounded amount of time for energy: never
         # meaningfully faster than the max-frequency baseline, never
-        # pathologically slower. The lower band is ~0.6%, not float
-        # noise: spread placement can genuinely relieve contention and
-        # shave a fraction of a percent off some random workloads.
-        assert opt.makespan_s >= base.makespan_s * 0.994
+        # pathologically slower. The lower band is a few percent, not
+        # float noise: spread placement can genuinely relieve memory
+        # contention on some random workloads (e.g. four simultaneous
+        # arrivals mixing CG with bzip2/perlbench finish ~1.9% sooner
+        # once the CG threads stop sharing a PMD with a neighbour).
+        assert opt.makespan_s >= base.makespan_s * 0.97
         assert opt.makespan_s <= base.makespan_s * 2.5

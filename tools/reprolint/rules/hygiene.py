@@ -1,6 +1,6 @@
 """RL005 — hot-path hygiene.
 
-Two checks for the simulation/kernel hot paths:
+Three checks for the simulation/kernel hot paths:
 
 * **slots** — dataclasses in the hot modules (``repro.sim``,
   ``repro.kernels``) are allocated per event / per grid; they must
@@ -10,6 +10,12 @@ Two checks for the simulation/kernel hot paths:
   (``math.isclose``) or an ordered bound (``<=``). Flagged when either
   side is a float literal with a fractional part or a name/attribute
   carrying a float-typical unit suffix next to a float literal.
+* **cancel/schedule churn** — inside ``repro.sim``, a statement that
+  cancels an event on a queue immediately followed by a statement that
+  schedules on the same queue is the reschedule-churn pattern the
+  incremental engine elides when the recomputed time is unchanged.
+  Sites where the pair is intentional (the elision guard already ran)
+  carry a reasoned suppression.
 """
 
 from __future__ import annotations
@@ -29,6 +35,10 @@ def _in_hot_scope(module: str) -> bool:
     )
 
 
+def _in_sim_scope(module: str) -> bool:
+    return module == "repro.sim" or module.startswith("repro.sim.")
+
+
 class HotPathHygiene(Rule):
     """RL005: slots on hot dataclasses; no ``==`` on floats."""
 
@@ -44,6 +54,8 @@ class HotPathHygiene(Rule):
                 yield from self._check_slots(source, node)
             elif isinstance(node, ast.Compare):
                 yield from self._check_float_eq(source, node)
+        if _in_sim_scope(source.module):
+            yield from self._check_cancel_reschedule(source)
 
     # -- dataclass slots -------------------------------------------------------
 
@@ -91,6 +103,57 @@ class HotPathHygiene(Rule):
                 "ordered bound (`<=`)",
             )
             return
+
+
+    # -- cancel/schedule churn -------------------------------------------------
+
+    def _check_cancel_reschedule(
+        self, source: SourceFile
+    ) -> Iterator[Finding]:
+        definitions = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        for statements in _statement_lists(source.tree):
+            for first, second in zip(statements, statements[1:]):
+                if isinstance(first, definitions) or isinstance(
+                    second, definitions
+                ):
+                    # Sibling defs are not consecutively *executed*.
+                    continue
+                receivers = {
+                    ast.dump(call.func.value)
+                    for call in _method_calls(second, "schedule")
+                }
+                if not receivers:
+                    continue
+                for call in _method_calls(first, "cancel"):
+                    if ast.dump(call.func.value) in receivers:
+                        yield self.finding(
+                            source,
+                            call,
+                            "cancel immediately followed by schedule on "
+                            "the same queue is reschedule churn; recompute "
+                            "the time first and elide the pair when it is "
+                            "unchanged",
+                        )
+
+
+def _statement_lists(tree: ast.Module) -> Iterator[list]:
+    """Every statement body (module, class, function, branch, loop)."""
+    for node in ast.walk(tree):
+        for field in ("body", "orelse", "finalbody"):
+            statements = getattr(node, field, None)
+            if isinstance(statements, list) and len(statements) > 1:
+                yield statements
+
+
+def _method_calls(node: ast.AST, name: str) -> Iterator[ast.Call]:
+    """All ``<receiver>.<name>(...)`` calls anywhere inside ``node``."""
+    for sub in ast.walk(node):
+        if (
+            isinstance(sub, ast.Call)
+            and isinstance(sub.func, ast.Attribute)
+            and sub.func.attr == name
+        ):
+            yield sub
 
 
 def _dataclass_decorator(node: ast.ClassDef) -> Optional[ast.AST]:
