@@ -230,3 +230,38 @@ def test_policy_table_from_characterization(benchmark):
     finally:
         set_default_cache(previous)
     assert table is not None
+
+
+def test_platform_registry_resolution(benchmark):
+    """Declarative-bundle resolution across every consumer model layer.
+
+    Registry lookups happen once per model construction — outside the
+    kernel hot loops — so a cold resolve of every registered platform
+    through every consumer (Vmin, power, droop, faults, thermal) must
+    stay cheap. New in the registry PR: no committed baseline entry,
+    the bench records the cost going forward.
+    """
+    from repro.platform.registry import get_platform, platform_keys
+    from repro.platform.thermal import ThermalModel
+    from repro.power.model import PowerModel
+    from repro.vmin.droop import DroopModel
+    from repro.vmin.faults import FaultModel
+    from repro.vmin.model import VminModel
+
+    def resolve_all():
+        models = []
+        for key in platform_keys():
+            spec = get_platform(key).spec
+            models.append(
+                (
+                    VminModel(spec),
+                    PowerModel(spec),
+                    DroopModel(spec),
+                    FaultModel(spec=spec),
+                    ThermalModel(spec),
+                )
+            )
+        return models
+
+    models = benchmark(resolve_all)
+    assert len(models) == len(platform_keys())

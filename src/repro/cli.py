@@ -9,7 +9,10 @@ Usage::
     repro all --duration 600
     repro run-all --jobs 4 --cache-dir ~/.cache/repro-vmin
     repro run-all --summary-json manifest.json
+    repro run-all --platform xgene3-xl
     repro telemetry check manifest.json --min-hit-rate 0.5
+    repro platform list
+    repro platform validate
 
 Each experiment prints the same rows/series the paper reports.
 ``run-all`` fans the whole registry out over a process pool with
@@ -19,7 +22,11 @@ the per-experiment timing/cache-hit summary table goes to stderr.
 ``--summary-json PATH`` additionally collects telemetry and writes the
 run manifest there; the ``repro telemetry`` subcommand family
 (``dump``/``summarize``/``diff``/``check``) inspects and gates those
-manifests (see :mod:`repro.telemetry.cli`).
+manifests (see :mod:`repro.telemetry.cli`). The ``repro platform``
+family (``list``/``show``/``validate``) inspects the declarative
+platform registry (see :mod:`repro.platform.cli`); ``--platform``
+accepts any registered key, including platforms defined purely as spec
+files.
 """
 
 from __future__ import annotations
@@ -62,6 +69,14 @@ DEFAULT_PLATFORM: Dict[str, str] = {
 }
 
 
+def _platform_choices() -> List[str]:
+    """Every resolvable platform: registry keys plus legacy factories."""
+    from .platform.registry import platform_keys
+    from .platform.specs import PLATFORMS
+
+    return sorted(set(platform_keys()) | set(PLATFORMS))
+
+
 def _positive_int(text: str) -> int:
     value = int(text)
     if value < 1:
@@ -83,7 +98,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--platform",
-        choices=("xgene2", "xgene3"),
+        choices=_platform_choices(),
         default=None,
         help="platform override (default: the paper's platform)",
     )
@@ -165,6 +180,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .telemetry.cli import telemetry_main
 
         return telemetry_main(argv[1:])
+    if argv and argv[0] == "platform":
+        # Registry tooling, same pattern as the telemetry family.
+        from .platform.cli import platform_main
+
+        return platform_main(argv[1:])
     args = build_parser().parse_args(argv)
     try:
         if args.experiment == "list":

@@ -11,27 +11,33 @@ other — workload variation has essentially vanished in multicore runs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from ..allocation import Allocation
 from ..analysis.tables import format_table
-from ..platform.specs import get_spec
-from ..units import fmt_freq, ghz
+from ..platform.registry import (
+    CharacterizationGrid,
+    default_characterization_grid,
+    model_for_spec,
+)
+from ..platform.specs import ChipSpec, get_spec
+from ..units import fmt_freq
 from ..vmin.characterize import VminCampaign
 from ..workloads.profiles import BenchmarkProfile
 from ..workloads.suites import characterization_set
 
-#: Thread/frequency grid per platform (Section II.B).
-GRIDS: Dict[str, Dict[str, Sequence]] = {
-    "xgene2": {
-        "threads": (8, 4),
-        "freqs": (ghz(2.4), ghz(1.2), ghz(0.9)),
-    },
-    "xgene3": {
-        "threads": (32, 16, 8),
-        "freqs": (ghz(3.0), ghz(1.5)),
-    },
-}
+
+def characterization_grid(spec: ChipSpec) -> CharacterizationGrid:
+    """Thread/frequency grid of a platform's Fig. 3 campaign.
+
+    Declared in the platform's bundle (``[characterization]`` in its
+    spec file); platforms registered without a bundle get a derived
+    grid instead of silently borrowing another chip's.
+    """
+    model = model_for_spec(spec)
+    if model is not None:
+        return model.characterization
+    return default_characterization_grid(spec)
 
 
 @dataclass(frozen=True)
@@ -106,20 +112,20 @@ def run(
 ) -> Fig3Result:
     """Run the Fig. 3 campaign for one platform."""
     spec = get_spec(platform)
-    grid = GRIDS["xgene2" if spec.name == "X-Gene 2" else "xgene3"]
+    grid = characterization_grid(spec)
     pool = list(benchmarks) if benchmarks else characterization_set()
     campaign = VminCampaign(spec, seed=silicon_seed)
     result = Fig3Result(platform=spec.name)
     # The whole (threads x freq x benchmark) campaign runs as one batched
     # kernel sweep; row order matches the original scalar loop.
     points = []
-    for nthreads in grid["threads"]:
+    for nthreads in grid.threads:
         allocation = (
             Allocation.CLUSTERED
             if nthreads == spec.n_cores
             else Allocation.SPREADED
         )
-        for freq_hz in grid["freqs"]:
+        for freq_hz in grid.freqs_hz:
             for profile in pool:
                 points.append(
                     campaign.point(

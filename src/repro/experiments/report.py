@@ -11,6 +11,7 @@ from __future__ import annotations
 import io
 from typing import List
 
+from ..platform.specs import get_spec
 from ..units import ghz, hz_to_ghz
 from . import (
     fig3_vmin_characterization as fig3,
@@ -25,6 +26,11 @@ from . import (
     table2,
     tables34,
 )
+
+
+def _chip(key: str) -> str:
+    """Display name of a registry platform, for rendered headings."""
+    return get_spec(key).name
 
 
 def _md_table(out: io.StringIO, headers: List[str], rows) -> None:
@@ -73,11 +79,13 @@ def _characterization_section(out: io.StringIO) -> None:
                     f"{max(values) - min(values)} mV",
                 )
             )
-    _md_table(out, ["X-Gene 3 config", "safe Vmin", "spread"], rows)
+    _md_table(
+        out, [f"{_chip('xgene3')} config", "safe Vmin", "spread"], rows
+    )
 
     r4 = fig4.run("xgene2")
     out.write(
-        f"Single/two-core regions (X-Gene 2): core-to-core spread "
+        f"Single/two-core regions ({_chip('xgene2')}): core-to-core spread "
         f"{r4.core_to_core_spread_mv():.0f} mV [~30], workload spread "
         f"{r4.workload_spread_mv():.0f} mV [~40], most robust "
         f"PMD{r4.most_robust_pmd()} [PMD2].\n\n"
@@ -161,7 +169,7 @@ def _energy_section(out: io.StringIO) -> None:
     _md_table(
         out,
         [
-            "benchmark (8T, X-Gene 2)",
+            f"benchmark (8T, {_chip('xgene2')})",
             "E @2.4GHz",
             "E @1.2GHz",
             "E @0.9GHz",

@@ -15,6 +15,7 @@ from typing import List, Optional, Tuple
 from ..analysis.tables import format_table
 from ..core.policy import VminPolicyTable
 from ..platform.pmu import DROOP_BINS_MV
+from ..platform.registry import platform_key_for_spec
 from ..platform.specs import FrequencyClass, get_spec
 from ..vmin.droop import droop_ladder
 
@@ -93,7 +94,8 @@ def run(
     spec = get_spec(platform)
     table = policy or VminPolicyTable.from_characterization(spec)
     ladder = droop_ladder(spec)
-    is_paper_chip = spec.name == "X-Gene 3"
+    # The paper publishes Table II only for its 32-core machine.
+    is_paper_chip = platform_key_for_spec(spec) == "xgene3"
     result = Table2Result(platform=spec.name)
     for droop_class, bound in enumerate(ladder):
         high = table.entry(FrequencyClass.HIGH, droop_class).vmin_mv

@@ -15,21 +15,24 @@ from ..analysis.tables import format_table
 from ..core.configurations import EvaluationResult, run_evaluation
 from ..workloads.generator import Workload
 
-#: Paper Table III / Table IV reference values.
+#: Paper Table III / Table IV reference values, by platform registry key.
 PAPER_RESULTS: Dict[str, Dict[str, Dict[str, float]]] = {
-    "X-Gene 2": {
+    "xgene2": {
         "baseline": {"time_s": 3707, "power_w": 6.90, "energy_j": 25578.30},
         "safe_vmin": {"energy_savings_pct": 11.6, "ed2p_savings_pct": 11.6},
         "placement": {"energy_savings_pct": 18.3, "ed2p_savings_pct": 12.8},
         "optimal": {"energy_savings_pct": 25.2, "ed2p_savings_pct": 20.1},
     },
-    "X-Gene 3": {
+    "xgene3": {
         "baseline": {"time_s": 3748, "power_w": 36.49, "energy_j": 136773.26},
         "safe_vmin": {"energy_savings_pct": 10.9, "ed2p_savings_pct": 10.9},
         "placement": {"energy_savings_pct": 13.4, "ed2p_savings_pct": 8.9},
         "optimal": {"energy_savings_pct": 22.3, "ed2p_savings_pct": 18.2},
     },
 }
+
+#: Paper table numeral per platform registry key.
+_TABLE_NUMBERS = {"xgene2": "III", "xgene3": "IV"}
 
 
 @dataclass
@@ -43,9 +46,17 @@ class TableResult:
         """Platform name of the run."""
         return self.evaluation.platform
 
+    def platform_key(self) -> str:
+        """Registry key of the run's platform ('' when unregistered)."""
+        from ..platform.registry import try_get_platform
+
+        model = try_get_platform(self.platform)
+        return model.key if model is not None else ""
+
     def paper_reference(self) -> Dict[str, Dict[str, float]]:
-        """The paper's values for this platform."""
-        return PAPER_RESULTS[self.platform]
+        """The paper's values for this platform (empty for non-paper
+        chips: the paper only evaluated Tables III and IV)."""
+        return PAPER_RESULTS.get(self.platform_key(), {})
 
     def format(self) -> str:
         """Render the table with paper savings alongside."""
@@ -67,7 +78,12 @@ class TableResult:
                     f"{row.ed2p_savings_pct:.1f}%",
                 )
             )
-        number = "III" if self.platform == "X-Gene 2" else "IV"
+        number = _TABLE_NUMBERS.get(self.platform_key())
+        title = (
+            f"Table {number} - evaluation results ({self.platform})"
+            if number
+            else f"Evaluation results ({self.platform})"
+        )
         return format_table(
             (
                 "config",
@@ -80,7 +96,7 @@ class TableResult:
                 "ED2P save",
             ),
             rows,
-            title=f"Table {number} - evaluation results ({self.platform})",
+            title=title,
         )
 
 

@@ -26,19 +26,25 @@ from ..platform.specs import ChipSpec
 from ..workloads.profiles import REFERENCE_FREQ_HZ, BenchmarkProfile
 from .contention import STALL_ACTIVITY, l2_sharing_factor
 
-#: Relative speed of the chip's lower memory hierarchy vs the reference
-#: platform (X-Gene 3): memory time multiplies by this factor. The 28 nm
-#: X-Gene 2 has a slower L3/DRAM path.
-MEM_TIME_SCALE: Dict[str, float] = {
-    "X-Gene 2": 1.15,
-    "X-Gene 3": 1.00,
-}
+#: Programmatic overrides of the memory-path slowdown by chip display
+#: name. The built-in chips' calibration lives in their declarative
+#: bundles (``platform/defs/*.toml``, ``[perf] mem_time_scale``); this
+#: dict takes precedence over the bundle registry.
+MEM_TIME_SCALE: Dict[str, float] = {}
 _DEFAULT_MEM_SCALE = 1.0
 
 
 def mem_time_scale(spec: ChipSpec) -> float:
     """Memory-path slowdown of a chip relative to the reference."""
-    return MEM_TIME_SCALE.get(spec.name, _DEFAULT_MEM_SCALE)
+    override = MEM_TIME_SCALE.get(spec.name)
+    if override is not None:
+        return override
+    from ..platform.registry import model_for_spec
+
+    model = model_for_spec(spec)
+    if model is not None:
+        return model.perf.mem_time_scale
+    return _DEFAULT_MEM_SCALE
 
 
 @dataclass(frozen=True)

@@ -17,6 +17,22 @@ from .pmu import (
     Pmu,
     l3_rate_per_mcycles,
 )
+from .registry import (
+    CharacterizationGrid,
+    DroopParams,
+    FaultParams,
+    PerfCalibration,
+    PlatformModel,
+    VariationParams,
+    get_platform,
+    load_platform_file,
+    model_for_spec,
+    platform_key_for_spec,
+    platform_keys,
+    register_model,
+    try_get_platform,
+    validate_model,
+)
 from .slimpro import SlimPro, VoltageTransition
 from .thermal import (
     LEAKAGE_TEMP_COEFF_PER_C,
@@ -38,6 +54,7 @@ from .specs import (
 
 __all__ = [
     "CACHE_LINE_BYTES",
+    "CharacterizationGrid",
     "Chip",
     "ChipSpec",
     "ChipState",
@@ -46,21 +63,34 @@ __all__ = [
     "CoreCounters",
     "CppcController",
     "DROOP_BINS_MV",
+    "DroopParams",
+    "FaultParams",
     "FrequencyClass",
     "FrequencyTransition",
     "KernelModuleReader",
     "LEAKAGE_TEMP_COEFF_PER_C",
     "PLATFORMS",
+    "PerfCalibration",
     "PerfToolReader",
+    "PlatformModel",
     "Pmu",
     "SlimPro",
     "THERMAL_PARAMS",
     "ThermalModel",
     "ThermalParams",
     "VMIN_TEMP_SENSITIVITY_MV_PER_C",
+    "VariationParams",
     "VoltageTransition",
+    "get_platform",
     "get_spec",
     "l3_rate_per_mcycles",
+    "load_platform_file",
+    "model_for_spec",
+    "platform_key_for_spec",
+    "platform_keys",
+    "register_model",
+    "try_get_platform",
+    "validate_model",
     "xgene2_spec",
     "xgene3_spec",
 ]

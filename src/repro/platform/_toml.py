@@ -1,0 +1,126 @@
+"""Minimal TOML-subset reader for the platform spec files.
+
+Python 3.11+ ships :mod:`tomllib`, but this project still supports 3.10
+and takes no third-party dependencies for three small spec files. The
+fallback parser below covers exactly the subset ``platform/defs/*.toml``
+uses: ``[dotted.tables]``, bare keys, double-quoted strings (no
+escapes), booleans, integers, floats and single-line arrays of scalars,
+plus ``#`` comments. Numeric literals are converted with ``int()`` /
+``float()``, so a value written in TOML parses to the bit-identical
+number a Python literal would — which is what lets the spec files be
+the single source of truth without perturbing golden outputs.
+
+When :mod:`tomllib` is available it is preferred; the fallback only
+runs on 3.10.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, Tuple
+
+from ..errors import ConfigurationError
+
+try:  # pragma: no cover - exercised indirectly on 3.11+
+    import tomllib as _tomllib
+except ModuleNotFoundError:  # pragma: no cover - 3.10 fallback
+    _tomllib = None
+
+_INT_RE = re.compile(r"[+-]?[0-9][0-9_]*$")
+_SCALAR_TOKEN_RE = re.compile(r"[^,\]\s#]+")
+
+
+def _parse_value(text: str) -> Tuple[Any, str]:
+    """Parse one value off the front of ``text``; return (value, rest)."""
+    text = text.lstrip()
+    if not text:
+        raise ConfigurationError("expected a TOML value, got end of line")
+    if text.startswith('"'):
+        end = text.find('"', 1)
+        if end < 0:
+            raise ConfigurationError(f"unterminated string in {text!r}")
+        return text[1:end], text[end + 1:]
+    if text.startswith("["):
+        rest = text[1:]
+        items = []
+        while True:
+            rest = rest.lstrip()
+            if not rest:
+                raise ConfigurationError("unterminated array")
+            if rest.startswith("]"):
+                return items, rest[1:]
+            value, rest = _parse_value(rest)
+            items.append(value)
+            rest = rest.lstrip()
+            if rest.startswith(","):
+                rest = rest[1:]
+    match = _SCALAR_TOKEN_RE.match(text)
+    if match is None:
+        raise ConfigurationError(f"cannot parse TOML value from {text!r}")
+    token = match.group(0)
+    rest = text[len(token):]
+    if token == "true":
+        return True, rest
+    if token == "false":
+        return False, rest
+    if _INT_RE.match(token):
+        return int(token.replace("_", "")), rest
+    try:
+        return float(token), rest
+    except ValueError:
+        raise ConfigurationError(
+            f"unsupported TOML value {token!r} (the spec-file subset "
+            "allows strings, booleans, numbers and flat arrays)"
+        ) from None
+
+
+def _loads_fallback(text: str) -> Dict[str, Any]:
+    """Parse the supported TOML subset without :mod:`tomllib`."""
+    root: Dict[str, Any] = {}
+    table = root
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if line.startswith("["):
+            end = line.find("]")
+            if end < 0:
+                raise ConfigurationError(
+                    f"line {lineno}: unterminated table header {line!r}"
+                )
+            table = root
+            for part in line[1:end].split("."):
+                name = part.strip().strip('"')
+                if not name:
+                    raise ConfigurationError(
+                        f"line {lineno}: empty table-name component"
+                    )
+                table = table.setdefault(name, {})
+                if not isinstance(table, dict):
+                    raise ConfigurationError(
+                        f"line {lineno}: {name!r} is both a key and a table"
+                    )
+            continue
+        key, sep, value_text = line.partition("=")
+        if not sep:
+            raise ConfigurationError(
+                f"line {lineno}: expected 'key = value', got {line!r}"
+            )
+        value, rest = _parse_value(value_text)
+        rest = rest.strip()
+        if rest and not rest.startswith("#"):
+            raise ConfigurationError(
+                f"line {lineno}: trailing characters {rest!r}"
+            )
+        table[key.strip().strip('"')] = value
+    return root
+
+
+def loads(text: str) -> Dict[str, Any]:
+    """Parse a platform spec file's TOML text into nested dicts."""
+    if _tomllib is not None:
+        try:
+            return _tomllib.loads(text)
+        except _tomllib.TOMLDecodeError as exc:
+            raise ConfigurationError(f"invalid TOML: {exc}") from exc
+    return _loads_fallback(text)

@@ -1,0 +1,112 @@
+"""Platform registry tooling: ``repro platform list|show|validate``.
+
+Usage::
+
+    repro platform list
+    repro platform show xgene3-xl
+    repro platform validate
+    repro platform validate my-chip.toml
+
+``list`` prints the registered platforms one per line; ``show`` dumps a
+bundle in its declarative spec-file shape (JSON, round-trippable
+through :func:`repro.platform.registry.model_from_dict`); ``validate``
+loads spec files — the shipped ones by default, explicit paths
+otherwise — and reports every invariant violation instead of stopping
+at the first.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from ..errors import ConfigurationError
+from ..units import fmt_freq
+from .registry import (
+    get_platform,
+    load_platform_file,
+    model_to_dict,
+    platform_keys,
+    spec_files,
+    validate_model,
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro platform",
+        description="Inspect and validate declarative platform bundles.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="registered platforms, one per line")
+    show = sub.add_parser(
+        "show", help="dump one bundle in spec-file shape (JSON)"
+    )
+    show.add_argument("key", help="platform key or display name")
+    validate = sub.add_parser(
+        "validate", help="check spec files against the bundle invariants"
+    )
+    validate.add_argument(
+        "files",
+        nargs="*",
+        metavar="FILE",
+        help="spec files to check (default: the shipped defs/*.toml)",
+    )
+    return parser
+
+
+def _cmd_list() -> int:
+    for key in platform_keys():
+        spec = get_platform(key).spec
+        print(
+            f"{key:<12} {spec.name}: {spec.n_cores} cores / "
+            f"{spec.n_pmds} PMDs @ {fmt_freq(spec.fmax_hz)}, "
+            f"{spec.tdp_w:g} W TDP, {spec.technology_nm} nm"
+        )
+    return 0
+
+
+def _cmd_show(key: str) -> int:
+    model = get_platform(key)
+    print(json.dumps(model_to_dict(model), indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_validate(files: List[str]) -> int:
+    paths = [Path(f) for f in files] if files else list(spec_files())
+    problems_total = 0
+    for path in paths:
+        try:
+            model = load_platform_file(path)
+        except ConfigurationError as exc:
+            print(f"{path}: ERROR {exc}")
+            problems_total += 1
+            continue
+        problems = validate_model(model)
+        for problem in problems:
+            print(f"{path}: {problem}")
+        problems_total += len(problems)
+        if not problems:
+            print(f"{path}: ok ({model.key})")
+    return 1 if problems_total else 0
+
+
+def platform_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of the ``repro platform`` subcommand family."""
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "list":
+            return _cmd_list()
+        if args.command == "show":
+            return _cmd_show(args.key)
+        return _cmd_validate(args.files)
+    except ConfigurationError as exc:
+        print(f"repro platform: error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(platform_main())

@@ -33,7 +33,6 @@ from dataclasses import dataclass
 from typing import Tuple
 
 from ..errors import ConfigurationError, FrequencyRangeError
-from ..units import MHZ, ghz
 
 KIB = 1024
 MIB = 1024 * KIB
@@ -169,51 +168,25 @@ class ChipSpec:
 
 
 def xgene2_spec() -> ChipSpec:
-    """X-Gene 2: 8-core, 28 nm, 2.4 GHz, 980 mV nominal (Table I)."""
-    return ChipSpec(
-        name="X-Gene 2",
-        n_cores=8,
-        cores_per_pmd=2,
-        fmax_hz=ghz(2.4),
-        fmin_hz=300 * MHZ,
-        nominal_voltage_mv=980,
-        min_voltage_mv=600,
-        tdp_w=35.0,
-        technology_nm=28,
-        caches=CacheSpec(
-            l1i_bytes=32 * KIB,
-            l1d_bytes=32 * KIB,
-            l2_bytes_per_pmd=256 * KIB,
-            l3_bytes=8 * MIB,
-            l3_in_pcp_domain=False,
-        ),
-        memory_bandwidth_bps=25.6e9,
-        clock_division_below_half=True,
-    )
+    """X-Gene 2: 8-core, 28 nm, 2.4 GHz, 980 mV nominal (Table I).
+
+    The numbers live in the declarative bundle ``platform/defs/xgene2.toml``;
+    this factory is kept as the stable programmatic entry point.
+    """
+    from .registry import get_platform
+
+    return get_platform("xgene2").spec
 
 
 def xgene3_spec() -> ChipSpec:
-    """X-Gene 3: 32-core, 16 nm FinFET, 3.0 GHz, 870 mV nominal (Table I)."""
-    return ChipSpec(
-        name="X-Gene 3",
-        n_cores=32,
-        cores_per_pmd=2,
-        fmax_hz=ghz(3.0),
-        fmin_hz=375 * MHZ,
-        nominal_voltage_mv=870,
-        min_voltage_mv=600,
-        tdp_w=125.0,
-        technology_nm=16,
-        caches=CacheSpec(
-            l1i_bytes=32 * KIB,
-            l1d_bytes=32 * KIB,
-            l2_bytes_per_pmd=256 * KIB,
-            l3_bytes=32 * MIB,
-            l3_in_pcp_domain=True,
-        ),
-        memory_bandwidth_bps=85.0e9,
-        clock_division_below_half=False,
-    )
+    """X-Gene 3: 32-core, 16 nm FinFET, 3.0 GHz, 870 mV nominal (Table I).
+
+    The numbers live in the declarative bundle ``platform/defs/xgene3.toml``;
+    this factory is kept as the stable programmatic entry point.
+    """
+    from .registry import get_platform
+
+    return get_platform("xgene3").spec
 
 
 #: Registry of platform factories by short name.
@@ -252,10 +225,21 @@ def register_platform(factory, name: str = "") -> str:
 
 
 def get_spec(name: str) -> ChipSpec:
-    """Look up a platform spec by short name (``xgene2`` / ``xgene3``)."""
+    """Look up a platform spec by short name (``xgene2`` / ``xgene3-xl``).
+
+    Factories registered via :func:`register_platform` take precedence;
+    everything else resolves through the declarative bundle registry
+    (:mod:`repro.platform.registry`).
+    """
     key = _platform_key(name)
-    if key not in PLATFORMS:
-        raise ConfigurationError(
-            f"unknown platform {name!r}; known: {sorted(PLATFORMS)}"
-        )
-    return PLATFORMS[key]()
+    if key in PLATFORMS:
+        return PLATFORMS[key]()
+    from .registry import platform_keys, try_get_platform
+
+    model = try_get_platform(name)
+    if model is not None:
+        return model.spec
+    known = sorted(set(PLATFORMS) | set(platform_keys()))
+    raise ConfigurationError(
+        f"unknown platform {name!r}; known: {known}"
+    )

@@ -43,17 +43,12 @@ class ThermalParams:
             raise ConfigurationError("thermal constants must be positive")
 
 
-#: Per-platform thermal constants: the small 35 W package heats more per
-#: watt; the 125 W server package has the bigger heatsink and a slower
-#: time constant.
-THERMAL_PARAMS: Dict[str, ThermalParams] = {
-    "X-Gene 2": ThermalParams(
-        resistance_c_per_w=1.2, time_constant_s=10.0
-    ),
-    "X-Gene 3": ThermalParams(
-        resistance_c_per_w=0.45, time_constant_s=18.0
-    ),
-}
+#: Programmatic overrides by chip display name. The built-in chips'
+#: thermal constants live in their declarative bundles
+#: (``platform/defs/*.toml``); this dict only holds parameters
+#: registered via :func:`register_thermal_params` and takes precedence
+#: over the bundle registry.
+THERMAL_PARAMS: Dict[str, ThermalParams] = {}
 
 def register_thermal_params(spec_name: str, params: ThermalParams) -> None:
     """Register the thermal constants of a custom platform."""
@@ -80,6 +75,12 @@ class ThermalModel:
     ):
         if params is None:
             params = THERMAL_PARAMS.get(spec.name)
+        if params is None:
+            from .registry import model_for_spec
+
+            model = model_for_spec(spec)
+            if model is not None:
+                params = model.thermal
         if params is None:
             raise ConfigurationError(
                 f"no thermal parameters for platform {spec.name!r}"

@@ -61,30 +61,12 @@ class PowerParams:
     external_w: float = 0.0
 
 
-#: Calibrated parameters per platform. The 28 nm bulk X-Gene 2 leaks
-#: proportionally more than the 16 nm FinFET X-Gene 3.
-POWER_PARAMS: Dict[str, PowerParams] = {
-    "X-Gene 2": PowerParams(
-        uncore_w=0.7,
-        core_dyn_max_w=1.6,
-        core_leak_w=0.14,
-        pmd_overhead_w=0.48,
-        uncore_on_rail=False,
-        leak_exponent=2.6,
-        idle_activity=0.18,
-        external_w=0.9,
-    ),
-    "X-Gene 3": PowerParams(
-        uncore_w=5.5,
-        core_dyn_max_w=2.4,
-        core_leak_w=0.30,
-        pmd_overhead_w=0.33,
-        uncore_on_rail=True,
-        leak_exponent=3.2,
-        idle_activity=0.10,
-        external_w=2.5,
-    ),
-}
+#: Programmatic overrides by chip display name. The built-in chips'
+#: calibrated coefficients live in their declarative bundles
+#: (``platform/defs/*.toml``); this dict only holds parameters
+#: registered via :func:`register_power_params` and takes precedence
+#: over the bundle registry.
+POWER_PARAMS: Dict[str, PowerParams] = {}
 
 
 def register_power_params(spec_name: str, params: PowerParams) -> None:
@@ -122,6 +104,12 @@ class PowerModel:
     def __init__(self, spec: ChipSpec, params: Optional[PowerParams] = None):
         if params is None:
             params = POWER_PARAMS.get(spec.name)
+        if params is None:
+            from ..platform.registry import model_for_spec
+
+            model = model_for_spec(spec)
+            if model is not None:
+                params = model.power
         if params is None:
             raise ConfigurationError(
                 f"no power parameters for platform {spec.name!r}"

@@ -143,7 +143,7 @@ class VminCampaign:
             raise CharacterizationError("run counts must be positive")
         self.spec = spec
         self.vmin_model = vmin_model or VminModel(spec)
-        self.fault_model = fault_model or FaultModel()
+        self.fault_model = fault_model or FaultModel(spec=spec)
         self.step_mv = step_mv
         self.pass_runs = pass_runs
         self.scan_runs = scan_runs

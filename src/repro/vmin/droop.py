@@ -123,9 +123,32 @@ class DroopModel:
     #: floats seen over a run); cleared wholesale when exceeded.
     FLAT_RATE_CACHE_MAX = 1024
 
-    def __init__(self, spec: ChipSpec, seed: int = 0):
+    def __init__(self, spec: ChipSpec, seed: int = 0, params=None):
         self.spec = spec
         self._seed = seed
+        if params is None:
+            from ..platform.registry import model_for_spec
+
+            model = model_for_spec(spec)
+            params = model.droop if model is not None else None
+        if params is not None:
+            # Instance attributes shadow the class-level defaults, so
+            # chips whose bundle repeats the defaults behave (and hash)
+            # exactly as before.
+            self.BASE_RATE_PER_MCYCLES = params.base_rate_per_mcycles
+            self.LOWER_BIN_MULTIPLIER = params.lower_bin_multiplier
+            self.ABOVE_CEILING_RATE = params.above_ceiling_rate
+            self._freq_scale = {
+                FrequencyClass.HIGH: 1.0,
+                FrequencyClass.SKIP: params.freq_scale_skip,
+                FrequencyClass.DIVIDE: params.freq_scale_divide,
+            }
+        else:
+            self._freq_scale = {
+                FrequencyClass.HIGH: 1.0,
+                FrequencyClass.SKIP: 0.55,
+                FrequencyClass.DIVIDE: 0.2,
+            }
         #: (utilized_pmds, freq_class, activity) -> jitter-free rates.
         #: The jitter-free computation is pure, so memoizing it returns
         #: the exact same floats the direct evaluation would; the fluid
@@ -164,11 +187,7 @@ class DroopModel:
             else None
         )
         rates: Dict[Tuple[int, int], float] = {}
-        freq_scale = {
-            FrequencyClass.HIGH: 1.0,
-            FrequencyClass.SKIP: 0.55,
-            FrequencyClass.DIVIDE: 0.2,
-        }[freq_class]
+        freq_scale = self._freq_scale[freq_class]
         for index, bin_ in enumerate(DROOP_BINS_MV):
             if index > ceiling:
                 rate = self.ABOVE_CEILING_RATE

@@ -78,6 +78,25 @@ class FaultModel:
     WIDTH_STEP_MV = 7.0
     MIN_WIDTH_MV = 20.0
 
+    def __init__(self, params=None, spec=None):
+        """Fault model with a chip's unsafe-region geometry.
+
+        ``params`` (a :class:`repro.platform.registry.FaultParams`)
+        wins; otherwise ``spec``'s declarative bundle is consulted.
+        With neither, the class-level defaults apply — and chips whose
+        bundle repeats the defaults behave (and hash in the Vmin cache)
+        exactly as a default-constructed model.
+        """
+        if params is None and spec is not None:
+            from ..platform.registry import model_for_spec
+
+            model = model_for_spec(spec)
+            params = model.faults if model is not None else None
+        if params is not None:
+            self.MAX_WIDTH_MV = params.max_width_mv
+            self.WIDTH_STEP_MV = params.width_step_mv
+            self.MIN_WIDTH_MV = params.min_width_mv
+
     def width_mv(self, droop_class: int) -> float:
         """Unsafe-region width for one droop class."""
         if droop_class < 0 or droop_class >= len(DROOP_BINS_MV):

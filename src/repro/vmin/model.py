@@ -28,26 +28,28 @@ from ..platform.specs import ChipSpec, FrequencyClass
 from .droop import droop_bin_index, droop_ladder
 from .variation import CoreVariationMap, make_variation_map
 
-#: X-Gene 3 base Vmin (mV) by frequency class and droop class — Table II.
-_XGENE3_BASE: Dict[FrequencyClass, Tuple[int, ...]] = {
-    FrequencyClass.HIGH: (780, 800, 810, 830),
-    FrequencyClass.SKIP: (770, 780, 790, 820),
-}
+#: Programmatic base-table overrides by chip display name. The built-in
+#: chips' tables live in the declarative bundles (``platform/defs``);
+#: this dict only holds tables registered via :func:`register_vmin_table`
+#: and takes precedence over the bundle registry.
+_BASE_TABLES: Dict[str, Dict[FrequencyClass, Tuple[int, ...]]] = {}
 
-#: X-Gene 2 base Vmin (mV), constructed from Fig. 10's decomposition on
-#: the 980 mV nominal rail: ~4 % allocation span within a row, ~3 % from
-#: HIGH to SKIP (clock skipping at the 1.2 GHz request), ~12 % more from
-#: SKIP to DIVIDE (clock division at 0.9 GHz and below).
-_XGENE2_BASE: Dict[FrequencyClass, Tuple[int, ...]] = {
-    FrequencyClass.HIGH: (870, 890, 910),
-    FrequencyClass.SKIP: (840, 860, 880),
-    FrequencyClass.DIVIDE: (720, 740, 760),
-}
 
-_BASE_TABLES: Dict[str, Dict[FrequencyClass, Tuple[int, ...]]] = {
-    "X-Gene 2": _XGENE2_BASE,
-    "X-Gene 3": _XGENE3_BASE,
-}
+def _resolve_base_table(
+    spec: ChipSpec,
+) -> Dict[FrequencyClass, Tuple[int, ...]]:
+    """Base-Vmin table of a chip: override first, then its bundle."""
+    table = _BASE_TABLES.get(spec.name)
+    if table is not None:
+        return table
+    from ..platform.registry import model_for_spec
+
+    model = model_for_spec(spec)
+    if model is not None:
+        return model.vmin_base_mv
+    raise ConfigurationError(
+        f"no Vmin table for platform {spec.name!r}"
+    )
 
 
 def register_vmin_table(
@@ -126,13 +128,9 @@ class VminModel:
         silicon_seed: int = 0,
         variation: Optional[CoreVariationMap] = None,
     ):
-        if spec.name not in _BASE_TABLES:
-            raise ConfigurationError(
-                f"no Vmin table for platform {spec.name!r}"
-            )
         self.spec = spec
         self.variation = variation or make_variation_map(spec, silicon_seed)
-        self._table = _BASE_TABLES[spec.name]
+        self._table = _resolve_base_table(spec)
         self._n_classes = len(droop_ladder(spec))
 
     @classmethod

@@ -20,21 +20,18 @@ from typing import Optional, Tuple
 from ..errors import ConfigurationError
 from ..platform.specs import ChipSpec
 
-#: Hand-laid offsets (mV above the chip's base Vmin) for the paper's
-#: X-Gene 2 chip: PMD0/PMD1 sensitive, PMD2 robust, PMD3 intermediate.
-_XGENE2_PAPER_OFFSETS: Tuple[float, ...] = (
-    24.0, 27.0,  # PMD0 - most sensitive
-    22.0, 26.0,  # PMD1 - sensitive
-    2.0, 4.0,    # PMD2 - most robust (Fig. 4)
-    12.0, 15.0,  # PMD3 - intermediate
-)
-
-#: Maximum static core offset per chip family, mV (Section III.A).
-_MAX_OFFSET_MV = {
-    "X-Gene 2": 30.0,
-    "X-Gene 3": 12.0,
-}
+#: Envelope for chips without a declarative bundle, mV (Section III.A
+#: reports family envelopes of ~30 and ~12 mV; registered bundles carry
+#: their own ``variation.max_offset_mv``).
 _DEFAULT_MAX_OFFSET_MV = 25.0
+
+
+def _variation_params(spec: ChipSpec):
+    """Bundle variation parameters of a chip, or ``None``."""
+    from ..platform.registry import model_for_spec
+
+    model = model_for_spec(spec)
+    return model.variation if model is not None else None
 
 
 @dataclass(frozen=True)
@@ -84,7 +81,10 @@ class CoreVariationMap:
 
 def max_core_offset_mv(spec: ChipSpec) -> float:
     """Largest static offset possible for a chip family, in mV."""
-    return _MAX_OFFSET_MV.get(spec.name, _DEFAULT_MAX_OFFSET_MV)
+    params = _variation_params(spec)
+    if params is not None:
+        return params.max_offset_mv
+    return _DEFAULT_MAX_OFFSET_MV
 
 
 def variation_rng(spec: ChipSpec, silicon_seed: int) -> random.Random:
@@ -104,10 +104,12 @@ def make_variation_map(
 ) -> CoreVariationMap:
     """Build the static variation map for one silicon instance.
 
-    Seed 0 on X-Gene 2 reproduces the paper's chip (robust PMD2); every
-    other (spec, seed) pair draws offsets uniformly in
-    ``[0, max_core_offset_mv(spec)]`` with mild within-PMD correlation,
-    since the two cores of a PMD share layout and supply routing.
+    Seed 0 reproduces the specific characterized chip on platforms whose
+    bundle carries hand-laid ``paper_offsets_mv`` (X-Gene 2's robust
+    PMD2, Fig. 4); every other (spec, seed) pair draws offsets uniformly
+    in ``[0, max_core_offset_mv(spec)]`` with mild within-PMD
+    correlation, since the two cores of a PMD share layout and supply
+    routing.
 
     ``rng`` injects an explicit random stream and always draws from the
     population (it bypasses the paper-chip shortcut — an injected
@@ -115,8 +117,10 @@ def make_variation_map(
     by default the stream is derived via :func:`variation_rng`.
     """
     if rng is None:
-        if silicon_seed == 0 and spec.name == "X-Gene 2":
-            return CoreVariationMap(spec.name, _XGENE2_PAPER_OFFSETS)
+        if silicon_seed == 0:
+            params = _variation_params(spec)
+            if params is not None and params.paper_offsets_mv is not None:
+                return CoreVariationMap(spec.name, params.paper_offsets_mv)
         rng = variation_rng(spec, silicon_seed)
     limit = max_core_offset_mv(spec)
     offsets = []

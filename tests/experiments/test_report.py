@@ -3,6 +3,7 @@
 import pytest
 
 from repro.experiments import report
+from repro.platform.specs import xgene2_spec, xgene3_spec
 
 
 @pytest.fixture(scope="module")
@@ -20,8 +21,8 @@ class TestReport:
         assert "## Evaluation (Tables III/IV)" in quick_report
 
     def test_both_platforms_present(self, quick_report):
-        assert "### X-Gene 2" in quick_report
-        assert "### X-Gene 3" in quick_report
+        assert f"### {xgene2_spec().name}" in quick_report
+        assert f"### {xgene3_spec().name}" in quick_report
 
     def test_paper_references_embedded(self, quick_report):
         assert "[25.2 %]" in quick_report

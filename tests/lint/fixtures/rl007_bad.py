@@ -1,0 +1,17 @@
+"""Fixture: chip display-name literals outside the platform registry."""
+
+SPEC_NAME = "X-Gene 2"
+
+
+def dispatch(spec):
+    if spec.name == "X-Gene 3":
+        return 32
+    return 8
+
+
+def not_xgene2(spec):
+    return spec.name != "X-Gene 2"
+
+
+def header(spec):
+    return f"safe Vmin ({spec.name} vs X-Gene 3)"

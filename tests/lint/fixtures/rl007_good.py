@@ -1,0 +1,18 @@
+"""Fixture: registry-keyed dispatch (X-Gene 3 in a docstring is prose)."""
+
+from repro.platform.registry import get_platform, platform_key_for_spec
+
+
+def dispatch(spec):
+    """Dispatch on the registry key, never on X-Gene 2's display name."""
+    if platform_key_for_spec(spec) == "xgene3":
+        return 32
+    return 8
+
+
+def header(spec):
+    return f"safe Vmin ({spec.name})"
+
+
+def display_name(key):
+    return get_platform(key).spec.name

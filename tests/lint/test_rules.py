@@ -186,6 +186,41 @@ class TestRL006TelemetryNames:
         assert marks == []
 
 
+class TestRL007PlatformNames:
+    def test_bad_fixture_exact_positions(self):
+        marks, findings = lint_fixture(
+            "rl007_bad.py", "repro.experiments.fixture"
+        )
+        assert marks == [
+            ("RL007", 3, 12),   # module-level chip-name literal
+            ("RL007", 7, 7),    # spec.name == "X-Gene 3"
+            ("RL007", 13, 11),  # spec.name != "X-Gene 2"
+            ("RL007", 17, 11),  # f-string fragment (JoinedStr anchor)
+        ]
+        assert "registry" in findings[0].message
+        assert "dispatch by display name" in findings[1].message
+        assert "dispatch by display name" in findings[2].message
+        assert "chip display-name literal" in findings[3].message
+
+    def test_good_fixture_clean(self):
+        marks, _ = lint_fixture(
+            "rl007_good.py", "repro.experiments.fixture"
+        )
+        assert marks == []
+
+    def test_rule_applies_to_test_code(self):
+        # Unlike most rules, tests are NOT exempt: display-name pins in
+        # tests are exactly how chip-coupling survives refactors.
+        marks, _ = lint_fixture(
+            "rl007_bad.py", "test_fixture", is_test=True
+        )
+        assert [m[0] for m in marks] == ["RL007"] * 4
+
+    def test_platform_package_exempt(self):
+        marks, _ = lint_fixture("rl007_bad.py", "repro.platform.specs")
+        assert marks == []
+
+
 class TestSuppressions:
     def test_reasoned_suppression_silences(self):
         marks, _ = lint_fixture(

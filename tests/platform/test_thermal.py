@@ -91,14 +91,22 @@ class TestDerivedEffects:
         cal = thermal3.params.calibration_c
         assert thermal3.vmin_shift_mv(cal + 20.0) == pytest.approx(7.0)
 
-    def test_params_for_both_platforms(self):
-        assert "X-Gene 2" in THERMAL_PARAMS
-        assert "X-Gene 3" in THERMAL_PARAMS
+    def test_params_for_both_platforms(self, spec2, spec3):
         # The small package heats more per watt.
         assert (
-            THERMAL_PARAMS["X-Gene 2"].resistance_c_per_w
-            > THERMAL_PARAMS["X-Gene 3"].resistance_c_per_w
+            ThermalModel(spec2).params.resistance_c_per_w
+            > ThermalModel(spec3).params.resistance_c_per_w
         )
+
+    def test_registered_override_wins(self, spec2):
+        custom = ThermalParams(
+            resistance_c_per_w=9.0, time_constant_s=1.0
+        )
+        THERMAL_PARAMS[spec2.name] = custom
+        try:
+            assert ThermalModel(spec2).params is custom
+        finally:
+            del THERMAL_PARAMS[spec2.name]
 
     def test_unknown_platform_needs_params(self, spec2):
         bad = spec2.__class__(**{**spec2.__dict__, "name": "Mystery"})

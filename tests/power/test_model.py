@@ -159,5 +159,19 @@ class TestChipPower:
         with pytest.raises(ConfigurationError):
             PowerModel(bad)
         # But explicit params work.
-        model = PowerModel(bad, params=POWER_PARAMS["X-Gene 2"])
+        model = PowerModel(bad, params=PowerModel(spec2).params)
         assert model.idle_power_w(idle_state(bad)) > 0
+
+    def test_registered_override_wins(self, spec2):
+        custom = PowerModel(spec2).params.__class__(
+            uncore_w=1.0,
+            core_dyn_max_w=1.0,
+            core_leak_w=0.1,
+            pmd_overhead_w=0.1,
+            uncore_on_rail=False,
+        )
+        POWER_PARAMS[spec2.name] = custom
+        try:
+            assert PowerModel(spec2).params is custom
+        finally:
+            del POWER_PARAMS[spec2.name]

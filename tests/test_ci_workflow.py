@@ -32,6 +32,7 @@ def test_workflow_parses_with_expected_jobs(workflow):
         "test",
         "lint",
         "lint-invariants",
+        "platform-matrix",
         "bench-smoke",
         "verify",
     }
@@ -91,6 +92,22 @@ def test_lint_invariants_job_runs_reprolint_and_mypy(workflow):
         i for i, run in enumerate(runs) if "pip install" in run
     )
     assert reprolint_idx < install_idx
+
+
+def test_lint_invariants_job_validates_spec_files(workflow):
+    text = _steps_text(workflow["jobs"]["lint-invariants"])
+    assert "repro platform validate" in text
+
+
+def test_platform_matrix_job_smokes_spec_file_platform(workflow):
+    job = workflow["jobs"]["platform-matrix"]
+    text = _steps_text(job)
+    assert "repro platform validate" in text
+    # The whole registry must run on a platform that exists only as a
+    # declarative spec file, and do so deterministically.
+    assert "--platform xgene3-xl" in text
+    assert "diff run_all_xl.txt run_all_xl_warm.txt" in text
+    assert "timeout " in text
 
 
 def test_bench_smoke_job_is_timeout_guarded(workflow):

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.cli import COMMANDS, DEFAULT_PLATFORM, build_parser, main
+from repro.platform.specs import xgene2_spec, xgene3_spec
 from repro.vmin.cache import reset_default_cache
 
 
@@ -39,7 +40,7 @@ class TestExecution:
     def test_table1(self, capsys):
         assert main(["table1"]) == 0
         out = capsys.readouterr().out
-        assert "X-Gene 2" in out and "X-Gene 3" in out
+        assert xgene2_spec().name in out and xgene3_spec().name in out
 
     def test_fig10(self, capsys):
         assert main(["fig10"]) == 0
@@ -51,7 +52,7 @@ class TestExecution:
 
     def test_fig8_with_platform(self, capsys):
         assert main(["fig8", "--platform", "xgene2"]) == 0
-        assert "X-Gene 2" in capsys.readouterr().out
+        assert xgene2_spec().name in capsys.readouterr().out
 
     def test_table3_short(self, capsys):
         assert main(["table3", "--duration", "120", "--seed", "2"]) == 0

@@ -98,6 +98,17 @@ PARITY_REGISTRY_PATH = "src/repro/kernels/parity.py"
 KERNELS_PACKAGE_PATH = "src/repro/kernels"
 KERNELS_PACKAGE_NAME = "repro.kernels"
 
+#: The declarative platform package (RL007). Chip identity lives in
+#: its registry; everything outside it must resolve chips through
+#: registry keys (``get_platform``/``platform_key_for_spec``), never
+#: by spelling out a display name.
+PLATFORM_PACKAGE = "repro.platform"
+
+#: Chip display-name literals banned outside the platform package
+#: (RL007). Substring match, so derived names ("X-Gene 3 XL") and
+#: embedded uses (f-strings, table headers) are caught too.
+PLATFORM_NAME_LITERALS = ("X-Gene 2", "X-Gene 3")
+
 #: The telemetry package and its central metric-name registry module
 #: (RL006). Call sites anywhere in the package must pass constants
 #: from the registry module to the telemetry API.

@@ -8,6 +8,7 @@ from ..engine import ProjectRule, Rule
 from .determinism import Determinism
 from .hygiene import HotPathHygiene
 from .parity import KernelScalarParity
+from .platform import PlatformNameDiscipline
 from .purity import CacheKeyPurity
 from .telemetry import TelemetryNameDiscipline
 from .units import UnitsDiscipline
@@ -19,6 +20,7 @@ ALL_RULES: List[Rule] = [
     CacheKeyPurity(),
     HotPathHygiene(),
     TelemetryNameDiscipline(),
+    PlatformNameDiscipline(),
 ]
 
 #: Cross-file project rules.
@@ -39,6 +41,7 @@ __all__ = [
     "Determinism",
     "HotPathHygiene",
     "KernelScalarParity",
+    "PlatformNameDiscipline",
     "TelemetryNameDiscipline",
     "UnitsDiscipline",
 ]

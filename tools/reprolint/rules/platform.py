@@ -1,0 +1,147 @@
+"""RL007 — platform chip-name discipline.
+
+Chip identity is owned by the declarative platform registry
+(``repro.platform``): specs are loaded from spec files and addressed by
+stable keys (``xgene2``, ``xgene3``). A display-name literal spelled
+out anywhere else — a ``spec.name == "X-Gene 3"`` comparison, a table
+header, an f-string — re-couples that code to one chip and silently
+breaks for platforms registered purely as spec files. Two checks:
+
+* **name comparisons** — ``==`` / ``!=`` against a banned chip literal
+  is dispatch-by-display-name; resolve a registry key instead
+  (``platform_key_for_spec(spec) == "xgene3"``).
+* **literals** — any other string constant containing a banned chip
+  name, including f-string fragments. Docstrings are exempt (prose,
+  not dispatch); sites that genuinely need the display name (e.g.
+  tests of the display-name lookup itself) carry a reasoned
+  suppression.
+
+Unlike most rules the check also runs over test code: tests pinned to
+a display name are exactly how chip-coupling survives refactors.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Set
+
+from ..config import PLATFORM_NAME_LITERALS, PLATFORM_PACKAGE
+from ..engine import Finding, Rule, SourceFile
+
+
+def _banned_literal(value: object) -> Optional[str]:
+    """The banned chip name contained in a string value, if any."""
+    if not isinstance(value, str):
+        return None
+    for name in PLATFORM_NAME_LITERALS:
+        if name in value:
+            return name
+    return None
+
+
+def _docstring_constants(tree: ast.Module) -> Set[int]:
+    """``id``s of the Constant nodes that are docstrings."""
+    out: Set[int] = set()
+    scopes = (
+        ast.Module,
+        ast.ClassDef,
+        ast.FunctionDef,
+        ast.AsyncFunctionDef,
+    )
+    for node in ast.walk(tree):
+        if not isinstance(node, scopes):
+            continue
+        body = node.body
+        if (
+            body
+            and isinstance(body[0], ast.Expr)
+            and isinstance(body[0].value, ast.Constant)
+            and isinstance(body[0].value.value, str)
+        ):
+            out.add(id(body[0].value))
+    return out
+
+
+class PlatformNameDiscipline(Rule):
+    """RL007: chip display names stay inside ``repro.platform``."""
+
+    rule_id = "RL007"
+    title = "platform chip-name discipline"
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        if not self._in_scope(source):
+            return
+        docstrings = _docstring_constants(source.tree)
+        consumed: Set[int] = set()
+        for node in ast.walk(source.tree):
+            # ast.walk visits parents before their children, so a
+            # Compare/JoinedStr claims its literals before the plain
+            # Constant branch can see them.
+            if isinstance(node, ast.Compare):
+                yield from self._check_compare(source, node, consumed)
+            elif isinstance(node, ast.JoinedStr):
+                yield from self._check_fstring(source, node, consumed)
+            elif (
+                isinstance(node, ast.Constant)
+                and id(node) not in consumed
+                and id(node) not in docstrings
+            ):
+                literal = _banned_literal(node.value)
+                if literal is not None:
+                    yield self.finding(
+                        source,
+                        node,
+                        f"chip display-name literal `{literal}` outside "
+                        f"`{PLATFORM_PACKAGE}`; resolve it through the "
+                        "registry (get_platform(key).spec.name)",
+                    )
+
+    def _in_scope(self, source: SourceFile) -> bool:
+        if source.module == PLATFORM_PACKAGE or source.module.startswith(
+            PLATFORM_PACKAGE + "."
+        ):
+            # The registry and its spec loaders own display names.
+            return False
+        return source.is_test or source.module.startswith("repro.")
+
+    def _check_compare(
+        self, source: SourceFile, node: ast.Compare, consumed: Set[int]
+    ) -> Iterator[Finding]:
+        operands = [node.left, *node.comparators]
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            for operand in (left, right):
+                if not isinstance(operand, ast.Constant):
+                    continue
+                literal = _banned_literal(operand.value)
+                if literal is None:
+                    continue
+                consumed.add(id(operand))
+                yield self.finding(
+                    source,
+                    node,
+                    f"comparison against chip name `{literal}` is "
+                    "dispatch by display name; compare registry keys "
+                    "(platform_key_for_spec(spec) == ...) instead",
+                )
+
+    def _check_fstring(
+        self, source: SourceFile, node: ast.JoinedStr, consumed: Set[int]
+    ) -> Iterator[Finding]:
+        hit: Optional[str] = None
+        for value in node.values:
+            if isinstance(value, ast.Constant):
+                consumed.add(id(value))
+                if hit is None:
+                    hit = _banned_literal(value.value)
+        if hit is not None:
+            # Anchored at the JoinedStr: inner-constant positions are
+            # not stable across 3.10/3.11 vs PEP-701 interpreters.
+            yield self.finding(
+                source,
+                node,
+                f"chip display-name literal `{hit}` outside "
+                f"`{PLATFORM_PACKAGE}`; resolve it through the "
+                "registry (get_platform(key).spec.name)",
+            )
