@@ -1,0 +1,170 @@
+"""Reprolint incremental-analysis benches: cold sweep vs warm cache.
+
+The whole-program analyzer persists per-file summaries (keyed by
+content hash) plus the import graph under ``.reprolint-cache/``. A
+warm run over an unchanged tree must re-analyze **zero** files and
+come back at least :data:`MIN_SPEEDUP` times faster than the cold
+sweep — that contract is pinned here, on a synthetic project so the
+numbers do not drift with repo size.
+
+``test_reprolint_cold_analysis`` / ``test_reprolint_warm_analysis``
+contribute rows to the committed regression baseline; the speedup
+pin is a plain timing test (no ``benchmark`` fixture) so flaky CI
+machines shift neither the baseline nor the ratio's two sides
+independently.
+"""
+
+from __future__ import annotations
+
+import shutil
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+TOOLS_DIR = REPO_ROOT / "tools"
+if str(TOOLS_DIR) not in sys.path:
+    sys.path.insert(0, str(TOOLS_DIR))
+
+from reprolint.driver import analyze_paths  # noqa: E402
+from reprolint.rules import ALL_RULES, PROGRAM_RULES  # noqa: E402
+
+#: Modules in the synthetic project (each imports its predecessor, so
+#: the dependency chain is as deep as the project is wide).
+N_MODULES = 40
+
+#: Warm run must beat the cold sweep by at least this factor.
+MIN_SPEEDUP = 5.0
+
+#: Interleaved timing rounds; the minimum of each side is compared.
+ROUNDS = 3
+
+#: Extra helper functions per module, so per-file *analysis* cost
+#: (parse + summary build + unit flow) dominates the warm run's fixed
+#: per-file cost (content hash + cached-summary decode).
+HELPERS_PER_MODULE = 12
+
+_MODULE_BODY = '''\
+"""Synthetic module {i} for the reprolint benches."""
+{imports}
+
+
+def supply_{i}_mv(margin_mv: float) -> float:
+    rail_mv = 850.0 + margin_mv
+    return rail_mv
+
+
+def step_{i}(margin_mv: float) -> float:
+    local_mv = supply_{i}_mv(margin_mv)
+    {call}
+    return local_mv
+'''
+
+_HELPER_BODY = '''\
+
+
+def helper_{i}_{j}(level_mv: float, scale: float) -> float:
+    biased_mv = level_mv + {j}.0
+    shifted_mv = biased_mv - scale * {j}.0
+    total_mv = biased_mv + shifted_mv
+    return supply_{i}_mv(total_mv)
+'''
+
+
+def _make_project(root: Path) -> Path:
+    """A package of ``N_MODULES`` files with a linear import chain."""
+    project = root / "proj"
+    project.mkdir()
+    (project / "pyproject.toml").write_text("[project]\nname = 'proj'\n")
+    for i in range(N_MODULES):
+        if i == 0:
+            imports, call = "", "pass"
+        else:
+            imports = f"from mod_{i - 1} import step_{i - 1}"
+            call = f"step_{i - 1}(local_mv)"
+        body = _MODULE_BODY.format(i=i, imports=imports, call=call)
+        body += "".join(
+            _HELPER_BODY.format(i=i, j=j)
+            for j in range(HELPERS_PER_MODULE)
+        )
+        (project / f"mod_{i}.py").write_text(body)
+    return project
+
+
+def _run(project: Path, cache_dir: Path):
+    return analyze_paths(
+        [project],
+        ALL_RULES,
+        program_rules=PROGRAM_RULES,
+        root=project,
+        cache_dir=cache_dir,
+    )
+
+
+def _best_of(fn, rounds=1):
+    best = float("inf")
+    for _ in range(rounds):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def test_reprolint_cold_analysis(benchmark, tmp_path):
+    """Full whole-program sweep with an empty cache, every round."""
+    project = _make_project(tmp_path)
+    cache_dir = project / ".reprolint-cache"
+
+    def setup():
+        shutil.rmtree(cache_dir, ignore_errors=True)
+        return (), {}
+
+    findings, stats = benchmark.pedantic(
+        lambda: _run(project, cache_dir), setup=setup, rounds=3
+    )
+    assert findings == []
+    assert stats.files_analyzed == stats.files_total == N_MODULES
+
+
+def test_reprolint_warm_analysis(benchmark, tmp_path):
+    """Unchanged tree: hash check + cached summaries, zero re-analysis."""
+    project = _make_project(tmp_path)
+    cache_dir = project / ".reprolint-cache"
+    _run(project, cache_dir)  # prime
+
+    findings, stats = benchmark(lambda: _run(project, cache_dir))
+    assert findings == []
+    assert stats.files_analyzed == 0
+    assert stats.files_from_cache == N_MODULES
+
+
+def test_reprolint_warm_speedup_over_cold(tmp_path):
+    """The warm run analyzes 0 files and is >= MIN_SPEEDUP x faster."""
+    project = _make_project(tmp_path)
+    cache_dir = project / ".reprolint-cache"
+
+    def cold():
+        shutil.rmtree(cache_dir, ignore_errors=True)
+        return _run(project, cache_dir)
+
+    cold()  # warm interpreter-level caches (ast, import machinery)
+    cold_s = float("inf")
+    warm_s = float("inf")
+    # Interleave the variants so clock drift hits both equally. Each
+    # cold round leaves a fresh cache for the warm round to hit.
+    for _ in range(ROUNDS):
+        cold_s = min(cold_s, _best_of(cold))
+        _, warm_stats = _run(project, cache_dir)
+        warm_s = min(warm_s, _best_of(lambda: _run(project, cache_dir)))
+
+    assert warm_stats.files_analyzed == 0
+    assert warm_stats.files_from_cache == N_MODULES
+    speedup = cold_s / warm_s
+    print(
+        f"reprolint cold {cold_s:.4f}s vs warm {warm_s:.4f}s "
+        f"({speedup:.1f}x)"
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"warm incremental run is only {speedup:.1f}x faster than the "
+        f"cold sweep (bound: {MIN_SPEEDUP:.0f}x)"
+    )

@@ -24,6 +24,7 @@ import numpy as np
 
 from .. import telemetry
 from ..platform.specs import FrequencyClass
+from ..units import HertzInt
 from ..telemetry import names as metric_names
 from ..vmin.droop import droop_bin_index
 from ..vmin.model import VminModel, variation_attenuation
@@ -68,7 +69,7 @@ class _PointCompiler:
             Tuple[int, ...], Tuple[int, float, float]
         ] = {}
 
-    def freq_class(self, freq_hz: int) -> FrequencyClass:
+    def freq_class(self, freq_hz: HertzInt) -> FrequencyClass:
         cached = self._freq_memo.get(freq_hz)
         if cached is None:
             spec = self.model.spec

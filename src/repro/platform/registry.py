@@ -39,7 +39,7 @@ from typing import (
 )
 
 from ..errors import ConfigurationError
-from ..units import ghz, hz_to_ghz
+from ..units import HertzInt, Millivolts, ghz, hz_to_ghz
 from . import _toml
 from .specs import CacheSpec, ChipSpec, FrequencyClass, _platform_key
 from .thermal import ThermalParams
@@ -53,7 +53,7 @@ class VariationParams:
     """Static per-core Vmin variation envelope of one chip family."""
 
     #: Largest static core offset of the family's population, mV.
-    max_offset_mv: float = 25.0
+    max_offset_mv: Millivolts = 25.0
     #: Hand-laid per-core offsets reproducing the paper's specific chip
     #: at ``silicon_seed=0`` (X-Gene 2's robust-PMD2 pattern, Fig. 4);
     #: ``None`` means every seed draws from the population.
@@ -80,11 +80,11 @@ class FaultParams:
     """Unsafe-region geometry below the safe Vmin (Fig. 5)."""
 
     #: Unsafe-region width at the mildest droop class, mV.
-    max_width_mv: float = 50.0
+    max_width_mv: Millivolts = 50.0
     #: Width shrink per droop class (steeper cliff at larger droops), mV.
-    width_step_mv: float = 7.0
+    width_step_mv: Millivolts = 7.0
     #: Width floor, mV.
-    min_width_mv: float = 20.0
+    min_width_mv: Millivolts = 20.0
 
 
 @dataclass(frozen=True)
@@ -100,7 +100,7 @@ class CharacterizationGrid:
     """(thread count, frequency) grid of the Fig. 3 campaign."""
 
     threads: Tuple[int, ...]
-    freqs_hz: Tuple[int, ...]
+    freqs_hz: Tuple[HertzInt, ...]
 
 
 @dataclass(frozen=True)

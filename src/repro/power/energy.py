@@ -12,14 +12,15 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 from ..errors import ConfigurationError
+from ..units import Joules, Seconds, Watts
 
 
-def edp(energy_j: float, delay_s: float) -> float:
+def edp(energy_j: Joules, delay_s: Seconds) -> float:
     """Energy-delay product, J*s."""
     return energy_j * delay_s
 
 
-def ed2p(energy_j: float, delay_s: float) -> float:
+def ed2p(energy_j: Joules, delay_s: Seconds) -> float:
     """Energy-delay-squared product, J*s^2 (the paper's metric)."""
     return energy_j * delay_s * delay_s
 
@@ -59,7 +60,7 @@ class EnergyMeter:
     samples: List[Tuple[float, float, float]] = field(default_factory=list)
     _time_s: float = 0.0
 
-    def accumulate(self, power_w: float, dt_s: float) -> None:
+    def accumulate(self, power_w: Watts, dt_s: Seconds) -> None:
         """Add an interval of constant power."""
         if dt_s < 0:
             raise ConfigurationError("interval must be non-negative")
@@ -74,13 +75,13 @@ class EnergyMeter:
         self._time_s += dt_s
 
     @property
-    def average_power_w(self) -> float:
+    def average_power_w(self) -> Watts:
         """Mean power over everything accumulated so far."""
         if self.elapsed_s == 0:
             return 0.0
         return self.energy_j / self.elapsed_s
 
-    def ed2p(self, delay_s: Optional[float] = None) -> float:
+    def ed2p(self, delay_s: Optional[Seconds] = None) -> float:
         """ED2P using the accumulated energy and (by default) elapsed time."""
         delay = self.elapsed_s if delay_s is None else delay_s
         return ed2p(self.energy_j, delay)
@@ -94,7 +95,7 @@ class RunEnergy:
     energy_j: float
 
     @property
-    def average_power_w(self) -> float:
+    def average_power_w(self) -> Watts:
         """Mean power over the run."""
         if self.duration_s == 0:
             return 0.0

@@ -28,6 +28,7 @@ from typing import Dict, Mapping, Optional
 from ..errors import ConfigurationError
 from ..platform.chip import ChipState
 from ..platform.specs import ChipSpec
+from ..units import Hertz, Millivolts, Watts
 
 
 @dataclass(frozen=True)
@@ -119,14 +120,14 @@ class PowerModel:
 
     # -- component models ---------------------------------------------------
 
-    def _v_ratio(self, voltage_mv: float) -> float:
+    def _v_ratio(self, voltage_mv: Millivolts) -> float:
         if voltage_mv <= 0:
             raise ConfigurationError("voltage must be positive")
         return voltage_mv / self.spec.nominal_voltage_mv
 
     def core_dynamic_w(
-        self, freq_hz: float, voltage_mv: float, activity: float
-    ) -> float:
+        self, freq_hz: Hertz, voltage_mv: Millivolts, activity: float
+    ) -> Watts:
         """Dynamic power of one core: C * V^2 * f * activity."""
         if activity < 0:
             raise ConfigurationError("activity must be non-negative")
@@ -137,7 +138,7 @@ class PowerModel:
             * activity
         )
 
-    def core_leakage_w(self, voltage_mv: float) -> float:
+    def core_leakage_w(self, voltage_mv: Millivolts) -> Watts:
         """Leakage of one core (always on; the rail is shared)."""
         return (
             self.params.core_leak_w
@@ -145,8 +146,8 @@ class PowerModel:
         )
 
     def pmd_overhead_w(
-        self, freq_hz: float, voltage_mv: float, gated: bool
-    ) -> float:
+        self, freq_hz: Hertz, voltage_mv: Millivolts, gated: bool
+    ) -> Watts:
         """Clock-tree + L2 overhead of one PMD.
 
         A fully idle PMD is clock-gated to a small floor; an active one
@@ -161,8 +162,8 @@ class PowerModel:
         )
 
     def uncore_power_w(
-        self, voltage_mv: float, memory_utilization: float
-    ) -> float:
+        self, voltage_mv: Millivolts, memory_utilization: float
+    ) -> Watts:
         """L3 + fabric + memory-controller power.
 
         Scales with rail voltage only when the L3 sits in the PCP domain
@@ -237,11 +238,11 @@ class PowerModel:
             external_w=self.params.external_w,
         )
 
-    def idle_power_w(self, state: ChipState) -> float:
+    def idle_power_w(self, state: ChipState) -> Watts:
         """Chip power with every core idle at the snapshot's V/F point."""
         return self.chip_power(state, {}, 0.0).total_w
 
-    def max_power_w(self) -> float:
+    def max_power_w(self) -> Watts:
         """All-cores-busy power at nominal V, fmax, activity 1 (TDP-ish)."""
         spec = self.spec
         state = ChipState(

@@ -7,6 +7,53 @@ helpers keep conversions explicit at API boundaries.
 
 from __future__ import annotations
 
+from typing import Annotated
+
+
+class Unit:
+    """Dimension marker carried by the ``Annotated`` unit aliases below.
+
+    Runtime no-op: the marker exists so static tooling (reprolint's
+    RL008 interprocedural units inference) can read the declared unit of
+    an annotated parameter or return value straight from the AST.
+    """
+
+    __slots__ = ("symbol",)
+
+    def __init__(self, symbol: str) -> None:
+        self.symbol = symbol
+
+    def __repr__(self) -> str:
+        return f"Unit({self.symbol!r})"
+
+
+# -- Annotated unit aliases ----------------------------------------------------
+#
+# Annotate unit-bearing signatures with these aliases instead of bare
+# ``float``/``int``. They type-check identically to their base type but
+# declare the physical unit to RL008, which propagates units through
+# call chains and reports mV/V- or Hz/GHz-style mixups with the full
+# inference chain. See docs/STATIC_ANALYSIS.md ("Declaring units").
+
+#: Voltage in millivolts — the library-wide voltage convention.
+Millivolts = Annotated[float, Unit("mV")]
+#: Voltage in volts (display/API boundaries only).
+Volts = Annotated[float, Unit("V")]
+#: Frequency in hertz — the library-wide frequency convention.
+Hertz = Annotated[float, Unit("Hz")]
+#: Frequency in hertz, integer-valued (ladder points, spec fields).
+HertzInt = Annotated[int, Unit("Hz")]
+#: Frequency in megahertz (converter inputs only).
+Megahertz = Annotated[float, Unit("MHz")]
+#: Frequency in gigahertz (converter inputs only).
+Gigahertz = Annotated[float, Unit("GHz")]
+#: Power in watts — the library-wide power convention.
+Watts = Annotated[float, Unit("W")]
+#: Energy in joules.
+Joules = Annotated[float, Unit("J")]
+#: Time in seconds.
+Seconds = Annotated[float, Unit("s")]
+
 #: One megahertz in hertz.
 MHZ = 1_000_000
 #: One gigahertz in hertz.
@@ -16,43 +63,43 @@ GHZ = 1_000_000_000
 ONE_MILLION_CYCLES = 1_000_000
 
 
-def ghz(value: float) -> int:
+def ghz(value: Gigahertz) -> HertzInt:
     """Convert a frequency expressed in GHz to an integer number of Hz."""
     return int(round(value * GHZ))
 
 
-def mhz(value: float) -> int:
+def mhz(value: Megahertz) -> HertzInt:
     """Convert a frequency expressed in MHz to an integer number of Hz."""
     return int(round(value * MHZ))
 
 
-def hz_to_ghz(value: float) -> float:
+def hz_to_ghz(value: Hertz) -> Gigahertz:
     """Convert a frequency in Hz to GHz."""
     return value / GHZ
 
 
-def mv_to_v(value_mv: float) -> float:
+def mv_to_v(value_mv: Millivolts) -> Volts:
     """Convert millivolts to volts."""
     return value_mv / 1000.0
 
 
-def v_to_mv(value_v: float) -> float:
+def v_to_mv(value_v: Volts) -> Millivolts:
     """Convert volts to millivolts."""
     return value_v * 1000.0
 
 
-def joules(power_w: float, seconds: float) -> float:
+def joules(power_w: Watts, seconds: Seconds) -> Joules:
     """Energy in joules for constant power over an interval."""
     return power_w * seconds
 
 
-def fmt_freq(freq_hz: float) -> str:
+def fmt_freq(freq_hz: Hertz) -> str:
     """Human-readable frequency, e.g. ``2.4GHz`` or ``900MHz``."""
     if freq_hz >= GHZ and (freq_hz % (100 * MHZ) == 0 or freq_hz >= 10 * GHZ):
         return f"{freq_hz / GHZ:.4g}GHz"
     return f"{freq_hz / MHZ:.4g}MHz"
 
 
-def fmt_mv(voltage_mv: float) -> str:
+def fmt_mv(voltage_mv: Millivolts) -> str:
     """Human-readable voltage, e.g. ``870mV``."""
     return f"{voltage_mv:.0f}mV"

@@ -28,6 +28,7 @@ from ..errors import (
     ThreadHang,
 )
 from ..platform.pmu import DROOP_BINS_MV
+from ..units import Millivolts
 
 #: Outcome tags produced by :meth:`FaultModel.sample_outcome`.
 OUTCOME_PASS = "pass"
@@ -97,7 +98,7 @@ class FaultModel:
             self.WIDTH_STEP_MV = params.width_step_mv
             self.MIN_WIDTH_MV = params.min_width_mv
 
-    def width_mv(self, droop_class: int) -> float:
+    def width_mv(self, droop_class: int) -> Millivolts:
         """Unsafe-region width for one droop class."""
         if droop_class < 0 or droop_class >= len(DROOP_BINS_MV):
             raise ConfigurationError(
@@ -109,7 +110,7 @@ class FaultModel:
         )
 
     def unsafe_region(
-        self, safe_vmin_mv: float, droop_class: int
+        self, safe_vmin_mv: Millivolts, droop_class: int
     ) -> UnsafeRegion:
         """Safe Vmin and crash point for one configuration."""
         return UnsafeRegion(
@@ -118,7 +119,7 @@ class FaultModel:
         )
 
     def pfail(
-        self, voltage_mv: float, safe_vmin_mv: float, droop_class: int
+        self, voltage_mv: Millivolts, safe_vmin_mv: Millivolts, droop_class: int
     ) -> float:
         """Cumulative probability that one run fails at ``voltage_mv``.
 
@@ -131,7 +132,7 @@ class FaultModel:
         return _smoothstep(depth / self.width_mv(droop_class))
 
     def depth_fraction(
-        self, voltage_mv: float, safe_vmin_mv: float, droop_class: int
+        self, voltage_mv: Millivolts, safe_vmin_mv: Millivolts, droop_class: int
     ) -> float:
         """Normalised depth below Vmin: 0 at Vmin, 1 at the crash point."""
         depth = safe_vmin_mv - voltage_mv
@@ -139,7 +140,7 @@ class FaultModel:
         return min(1.0, max(0.0, depth / width))
 
     def outcome_mix(
-        self, voltage_mv: float, safe_vmin_mv: float, droop_class: int
+        self, voltage_mv: Millivolts, safe_vmin_mv: Millivolts, droop_class: int
     ) -> Dict[str, float]:
         """Conditional distribution of failure types, given a failure.
 
@@ -161,8 +162,8 @@ class FaultModel:
 
     def sample_outcome(
         self,
-        voltage_mv: float,
-        safe_vmin_mv: float,
+        voltage_mv: Millivolts,
+        safe_vmin_mv: Millivolts,
         droop_class: int,
         rng: random.Random,
     ) -> str:
@@ -192,8 +193,8 @@ class FaultModel:
 
     def probability_all_pass(
         self,
-        voltage_mv: float,
-        safe_vmin_mv: float,
+        voltage_mv: Millivolts,
+        safe_vmin_mv: Millivolts,
         droop_class: int,
         runs: int,
     ) -> float:

@@ -25,6 +25,7 @@ from typing import Dict, Iterable, Optional, Tuple
 from ..errors import ConfigurationError
 from ..platform.chip import Chip, ChipState
 from ..platform.specs import ChipSpec, FrequencyClass
+from ..units import HertzInt, Millivolts
 from .droop import droop_bin_index, droop_ladder
 from .variation import CoreVariationMap, make_variation_map
 
@@ -160,7 +161,7 @@ class VminModel:
 
     def base_vmin_mv(
         self, freq_class: FrequencyClass, droop_class: int
-    ) -> float:
+    ) -> Millivolts:
         """Base Vmin before variation terms, from the lookup tables."""
         if not 0 <= droop_class < self._n_classes:
             raise ConfigurationError(
@@ -177,9 +178,9 @@ class VminModel:
 
     def evaluate(
         self,
-        freq_hz: int,
+        freq_hz: HertzInt,
         active_cores: Iterable[int],
-        workload_delta_mv: float = 0.0,
+        workload_delta_mv: Millivolts = 0.0,
     ) -> VminBreakdown:
         """Safe Vmin with its decomposition for one configuration.
 
@@ -209,16 +210,16 @@ class VminModel:
 
     def safe_vmin_mv(
         self,
-        freq_hz: int,
+        freq_hz: HertzInt,
         active_cores: Iterable[int],
-        workload_delta_mv: float = 0.0,
-    ) -> float:
+        workload_delta_mv: Millivolts = 0.0,
+    ) -> Millivolts:
         """Safe Vmin (mV) for one configuration."""
         return self.evaluate(freq_hz, active_cores, workload_delta_mv).total_mv
 
     def safe_vmin_for_state(
-        self, state: ChipState, workload_delta_mv: float = 0.0
-    ) -> float:
+        self, state: ChipState, workload_delta_mv: Millivolts = 0.0
+    ) -> Millivolts:
         """Safe Vmin for a live chip snapshot.
 
         Uses the highest frequency among utilized PMDs; a fully idle chip
@@ -267,6 +268,6 @@ class VminModel:
 _MULTICORE_WORKLOAD_DELTA_LIMIT_MV = 20.0
 
 
-def workload_delta_limit_mv() -> float:
+def workload_delta_limit_mv() -> Millivolts:
     """Bound on per-benchmark Vmin deltas used by workload profiles."""
     return _MULTICORE_WORKLOAD_DELTA_LIMIT_MV

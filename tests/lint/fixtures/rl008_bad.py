@@ -1,0 +1,28 @@
+"""RL008 fixture: unit flows that disagree across call frames."""
+
+from repro.units import Millivolts, mv_to_v
+
+
+def apply_guardband(voltage_mv: float) -> float:
+    return voltage_mv - 50.0
+
+
+def converted(raw_mv: float) -> float:
+    return mv_to_v(raw_mv)
+
+
+def rail_volts(raw_mv: float) -> float:
+    return converted(raw_mv)
+
+
+def guardbanded_rail(raw_mv: float) -> float:
+    rail = rail_volts(raw_mv)
+    return apply_guardband(rail)
+
+
+def mixed_operands(delta_mhz: float, delta_hz: float) -> float:
+    return delta_mhz + delta_hz
+
+
+def declared_rail_mv(raw_mv: float) -> Millivolts:
+    return converted(raw_mv)

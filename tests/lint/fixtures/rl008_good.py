@@ -1,0 +1,23 @@
+"""RL008 fixture: unit-correct flows the rule must not flag."""
+
+from repro.units import Millivolts, Volts, mv_to_v
+
+
+def apply_guardband(voltage_mv: float) -> float:
+    return voltage_mv - 50.0
+
+
+def guardbanded(raw_mv: float) -> float:
+    return apply_guardband(raw_mv)
+
+
+def rail_volts(raw_mv: Millivolts) -> Volts:
+    return mv_to_v(raw_mv)
+
+
+def compare_rails(a_mv: float, b_mv: float) -> bool:
+    return a_mv < b_mv
+
+
+def scaled(value_mv: float, gain: float) -> float:
+    return value_mv * gain + 25.0

@@ -1,0 +1,18 @@
+"""RL009 fixture: a cache key that is impure only through callees."""
+
+import time
+
+from repro.vmin.cache import cache_key_producer
+
+
+@cache_key_producer
+def campaign_key(config):
+    return (tuple(sorted(config.items())), _token())
+
+
+def _token():
+    return _now()
+
+
+def _now():
+    return time.time()

@@ -1,0 +1,12 @@
+"""RL009 fixture: a cache key whose callees are pure."""
+
+from repro.vmin.cache import cache_key_producer
+
+
+@cache_key_producer
+def campaign_key(config):
+    return (tuple(sorted(config.items())), _token(config))
+
+
+def _token(config):
+    return len(config)

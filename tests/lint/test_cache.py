@@ -1,0 +1,192 @@
+"""Incremental analysis cache: reuse, invalidation, equivalence.
+
+The cache must never change *what* is reported — only how much gets
+re-parsed. These tests pin the three contracts: a warm no-change run
+analyzes zero files, editing a callee transitively re-analyzes its
+dependents, and findings are byte-identical with and without the
+cache.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from reprolint.cache import AnalysisCache, CACHE_VERSION
+from reprolint.driver import analyze_paths
+from reprolint.rules import ALL_RULES, PROGRAM_RULES
+
+
+@pytest.fixture
+def project(tmp_path):
+    """Three-file project: uses.py -> helpers.py, lone.py isolated."""
+    (tmp_path / "pyproject.toml").write_text("[project]\nname='x'\n")
+    (tmp_path / "helpers.py").write_text(
+        "def offset():\n    return 1\n"
+    )
+    (tmp_path / "uses.py").write_text(
+        "from helpers import offset\n"
+        "\n"
+        "\n"
+        "def use():\n"
+        "    return offset()\n"
+    )
+    (tmp_path / "lone.py").write_text("def alone():\n    return 0\n")
+    return tmp_path
+
+
+def run(project_dir, **kwargs):
+    kwargs.setdefault("cache_dir", project_dir / ".reprolint-cache")
+    return analyze_paths(
+        [project_dir],
+        ALL_RULES,
+        program_rules=PROGRAM_RULES,
+        root=project_dir,
+        **kwargs,
+    )
+
+
+class TestWarmRuns:
+    def test_cold_run_analyzes_everything(self, project):
+        _, stats = run(project)
+        assert stats.files_total == 3
+        assert stats.files_analyzed == 3
+        assert stats.files_from_cache == 0
+
+    def test_warm_no_change_run_analyzes_nothing(self, project):
+        run(project)
+        _, stats = run(project)
+        assert stats.files_analyzed == 0
+        assert stats.files_from_cache == 3
+
+    def test_touch_without_content_change_stays_warm(self, project):
+        run(project)
+        (project / "lone.py").touch()
+        _, stats = run(project)
+        assert stats.files_analyzed == 0
+
+
+class TestInvalidation:
+    def test_editing_a_callee_reanalyzes_the_dependent(self, project):
+        run(project)
+        (project / "helpers.py").write_text(
+            "def offset():\n    return 2\n"
+        )
+        _, stats = run(project)
+        # helpers.py changed; uses.py depends on it transitively and
+        # must be re-analyzed; lone.py stays cached.
+        assert stats.files_analyzed == 2
+        assert stats.files_from_cache == 1
+
+    def test_editing_a_leaf_reanalyzes_only_it(self, project):
+        run(project)
+        (project / "lone.py").write_text(
+            "def alone():\n    return 9\n"
+        )
+        _, stats = run(project)
+        assert stats.files_analyzed == 1
+        assert stats.files_from_cache == 2
+
+    def test_corrupt_cache_reads_as_cold(self, project):
+        run(project)
+        data = project / ".reprolint-cache" / "summaries.json"
+        data.write_text("{not json")
+        _, stats = run(project)
+        assert stats.files_analyzed == 3
+
+    def test_version_skew_reads_as_cold(self, project):
+        run(project)
+        data = project / ".reprolint-cache" / "summaries.json"
+        payload = json.loads(data.read_text())
+        payload["version"] = CACHE_VERSION - 1
+        data.write_text(json.dumps(payload))
+        _, stats = run(project)
+        assert stats.files_analyzed == 3
+
+
+class TestEquivalence:
+    @pytest.fixture
+    def flagged_project(self, tmp_path):
+        """Project with a cross-file RL008 mismatch (converter away)."""
+        (tmp_path / "pyproject.toml").write_text("[project]\nname='x'\n")
+        (tmp_path / "helpers.py").write_text(
+            "from repro.units import mv_to_v\n"
+            "\n"
+            "\n"
+            "def rail_volts(raw_mv):\n"
+            "    return mv_to_v(raw_mv)\n"
+        )
+        (tmp_path / "uses.py").write_text(
+            "from helpers import rail_volts\n"
+            "\n"
+            "\n"
+            "def guardband(voltage_mv):\n"
+            "    return voltage_mv - 50.0\n"
+            "\n"
+            "\n"
+            "def bad(raw_mv):\n"
+            "    return guardband(rail_volts(raw_mv))\n"
+        )
+        return tmp_path
+
+    def test_warm_findings_match_cold_and_uncached(self, flagged_project):
+        cold, _ = run(flagged_project)
+        warm, stats = run(flagged_project)
+        uncached, _ = run(flagged_project, cache_dir=None)
+        assert stats.files_analyzed == 0
+        assert [f.as_dict() for f in cold] == [
+            f.as_dict() for f in warm
+        ]
+        assert [f.as_dict() for f in cold] == [
+            f.as_dict() for f in uncached
+        ]
+        assert any(f.rule_id == "RL008" for f in cold)
+
+    def test_cross_file_rl009_propagates(self, tmp_path):
+        (tmp_path / "pyproject.toml").write_text("[project]\nname='x'\n")
+        (tmp_path / "clock.py").write_text(
+            "import time\n"
+            "\n"
+            "\n"
+            "def stamp():\n"
+            "    return time.time()\n"
+        )
+        (tmp_path / "keys.py").write_text(
+            "from repro.vmin.cache import cache_key_producer\n"
+            "\n"
+            "from clock import stamp\n"
+            "\n"
+            "\n"
+            "@cache_key_producer\n"
+            "def make_key(cfg):\n"
+            "    return (cfg, indirect())\n"
+            "\n"
+            "\n"
+            "def indirect():\n"
+            "    return stamp()\n"
+        )
+        findings, _ = analyze_paths(
+            [tmp_path],
+            [],
+            program_rules=PROGRAM_RULES,
+            root=tmp_path,
+        )
+        rl009 = [f for f in findings if f.rule_id == "RL009"]
+        assert len(rl009) == 1
+        assert "`keys.indirect` -> `clock.stamp`" in rl009[0].message
+        assert "transitively impure" in rl009[0].message
+
+
+class TestCacheStore:
+    def test_cache_dir_is_self_gitignoring(self, project):
+        run(project)
+        gitignore = project / ".reprolint-cache" / ".gitignore"
+        assert gitignore.read_text() == "*\n"
+
+    def test_store_roundtrips_entries(self, project):
+        run(project)
+        cache = AnalysisCache.load(project / ".reprolint-cache")
+        assert set(cache.files) == {"helpers.py", "uses.py", "lone.py"}
+        assert cache.deps["uses.py"] == ["helpers.py"]

@@ -145,3 +145,115 @@ class TestModuleEntryPoint:
         shutil.copy(FIXTURES / "rl005_bad.py", target / "rl005_bad.py")
         assert main([str(tmp_path)]) == 0
         assert main([str(target / "rl005_bad.py")]) == 1
+
+
+class TestSarifFormat:
+    def test_sarif_output_shape(self, dirty_tree, capsys):
+        code, out, _ = run_cli(
+            [
+                str(dirty_tree / "src"),
+                "--select",
+                "RL005",
+                "--format",
+                "sarif",
+                "--no-cache",
+            ],
+            capsys,
+        )
+        assert code == 1
+        log = json.loads(out)
+        assert log["version"] == "2.1.0"
+        assert "sarif-2.1.0" in log["$schema"]
+        run = log["runs"][0]
+        assert run["tool"]["driver"]["name"] == "reprolint"
+        (result,) = run["results"]
+        assert result["ruleId"] == "RL005"
+        region = result["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] == 5
+        assert region["startColumn"] == 1
+
+
+class TestCacheFlags:
+    def test_stats_line_reports_cache_reuse(self, dirty_tree, capsys):
+        args = [str(dirty_tree / "src"), "--select", "RL005"]
+        _, _, err_cold = run_cli(args, capsys)
+        _, _, err_warm = run_cli(args, capsys)
+        assert "analyzed 1 of 1 files (0 from cache)" in err_cold
+        assert "analyzed 0 of 1 files (1 from cache)" in err_warm
+
+    def test_no_cache_always_analyzes(self, dirty_tree, capsys):
+        args = [
+            str(dirty_tree / "src"),
+            "--select",
+            "RL005",
+            "--no-cache",
+        ]
+        run_cli(args, capsys)
+        _, _, err = run_cli(args, capsys)
+        assert "analyzed 1 of 1 files" in err
+        assert not (dirty_tree / ".reprolint-cache").exists()
+
+
+class TestChangedMode:
+    @pytest.fixture
+    def git_project(self, dirty_tree):
+        def git(*args):
+            subprocess.run(
+                ["git", "-C", str(dirty_tree), *args],
+                check=True,
+                capture_output=True,
+                env={
+                    "GIT_AUTHOR_NAME": "t",
+                    "GIT_AUTHOR_EMAIL": "t@t",
+                    "GIT_COMMITTER_NAME": "t",
+                    "GIT_COMMITTER_EMAIL": "t@t",
+                    "PATH": "/usr/bin:/bin:/usr/local/bin",
+                },
+            )
+
+        git("init", "-q")
+        git("add", "-A")
+        git("commit", "-q", "-m", "seed")
+        return dirty_tree
+
+    def test_unchanged_tree_reports_nothing(self, git_project, capsys):
+        code, out, _ = run_cli(
+            [
+                str(git_project / "src"),
+                "--select",
+                "RL005",
+                "--changed",
+                "HEAD",
+            ],
+            capsys,
+        )
+        assert code == 0
+        assert "clean" in out
+
+    def test_changed_file_is_reported(self, git_project, capsys):
+        hot = git_project / "src" / "repro" / "sim" / "hot.py"
+        hot.write_text(hot.read_text() + "\n")
+        code, out, _ = run_cli(
+            [
+                str(git_project / "src"),
+                "--select",
+                "RL005",
+                "--changed",
+                "HEAD",
+            ],
+            capsys,
+        )
+        assert code == 1
+        assert "RL005" in out
+
+    def test_unknown_ref_is_usage_error(self, git_project, capsys):
+        code, _, err = run_cli(
+            [
+                str(git_project / "src"),
+                "--changed",
+                "no-such-ref",
+            ],
+            capsys,
+        )
+        assert code == 2
+        assert "reprolint:" in err

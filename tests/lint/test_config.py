@@ -1,0 +1,89 @@
+"""Suppression parsing edge cases and per-path rule scoping."""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from reprolint.config import (
+    KNOWN_RULE_IDS,
+    rules_disabled_for,
+)
+from reprolint.engine import (
+    SourceFile,
+    parse_suppressions,
+    suppression_findings,
+)
+
+
+#: Assembled at runtime so this very file's suppression scan (the
+#: repo-clean self-application test) never sees a literal marker.
+MARKER = "# repro" + "lint: disable="
+
+
+def _source(text: str) -> SourceFile:
+    return SourceFile(
+        path=Path("scratch.py"),
+        text=text,
+        tree=ast.parse(text),
+        module="repro.experiments.scratch",
+        is_test=False,
+    )
+
+
+class TestSuppressionParsing:
+    def test_reasoned_suppression_parses(self):
+        table = parse_suppressions(
+            f"x = 1  {MARKER}RL001 -- display-only\n"
+        )
+        assert table == {1: (frozenset({"RL001"}), "display-only")}
+
+    def test_multiple_rules_one_comment(self):
+        table = parse_suppressions(
+            f"x = 1  {MARKER}RL001,RL002 -- both safe\n"
+        )
+        assert table[1][0] == frozenset({"RL001", "RL002"})
+
+    def test_reasonless_suppression_is_rejected(self):
+        findings = suppression_findings(
+            _source(f"x = 1  {MARKER}RL001\n")
+        )
+        assert [f.rule_id for f in findings] == ["RL000"]
+        assert "without a reason" in findings[0].message
+
+    def test_unknown_rule_id_is_rejected(self):
+        findings = suppression_findings(
+            _source(f"x = 1  {MARKER}RL999 -- hm\n")
+        )
+        assert [f.rule_id for f in findings] == ["RL000"]
+        assert "unknown rule id" in findings[0].message
+        assert "RL999" in findings[0].message
+
+    def test_reasonless_and_unknown_are_both_reported(self):
+        findings = suppression_findings(
+            _source(f"x = 1  {MARKER}RL998\n")
+        )
+        assert [f.rule_id for f in findings] == ["RL000", "RL000"]
+
+    def test_known_rule_ids_cover_every_shipped_rule(self):
+        from reprolint.rules import RULE_BY_ID
+
+        assert set(RULE_BY_ID) | {"RL000"} == set(KNOWN_RULE_IDS)
+
+
+class TestPathRuleScoping:
+    def test_examples_tree_disables_program_rules(self):
+        assert rules_disabled_for("examples/sweep.py") == frozenset(
+            {"RL008", "RL009"}
+        )
+
+    def test_nested_examples_dir_also_matches(self):
+        disabled = rules_disabled_for("docs/examples/sweep.py")
+        assert disabled == frozenset({"RL008", "RL009"})
+
+    def test_source_tree_has_no_disabled_rules(self):
+        assert rules_disabled_for("src/repro/vmin/model.py") == frozenset()
+
+    def test_windows_separators_are_normalized(self):
+        disabled = rules_disabled_for("examples\\sweep.py")
+        assert disabled == frozenset({"RL008", "RL009"})

@@ -263,3 +263,84 @@ class TestRL003Parity:
         findings = list(rule.check_project(tmp_path))
         assert len(findings) == 1
         assert "registry missing" in findings[0].message
+
+
+def analyze_fixture(name: str, module: str, is_test: bool = False):
+    """Whole-program rules only, over a one-file program."""
+    from reprolint.driver import analyze_file
+    from reprolint.rules import PROGRAM_RULES
+
+    findings = analyze_file(
+        FIXTURES / name,
+        (),
+        PROGRAM_RULES,
+        module=module,
+        is_test=is_test,
+    )
+    return [(f.rule_id, f.line, f.col) for f in findings], findings
+
+
+class TestRL008UnitFlow:
+    def test_bad_fixture_exact_positions(self):
+        marks, findings = analyze_fixture(
+            "rl008_bad.py", "repro.experiments.fixture"
+        )
+        assert marks == [
+            ("RL008", 20, 27),  # V flows into a *_mv parameter
+            ("RL008", 24, 11),  # MHz + Hz
+            ("RL008", 27, 0),   # declared mV, returns V
+        ]
+        # The converter sits two call frames away from the mismatch;
+        # the diagnostic must carry the whole inference chain.
+        call_flow = findings[0].message
+        assert "argument flows V" in call_flow
+        assert "`voltage_mv`" in call_flow
+        assert "declared mV" in call_flow
+        assert "assigned to `rail`" in call_flow
+        assert "rail_volts` returns V" in call_flow
+        assert "combining MHz with Hz" in findings[1].message
+        assert "declared to return mV" in findings[2].message
+
+    def test_good_fixture_clean(self):
+        marks, _ = analyze_fixture(
+            "rl008_good.py", "repro.experiments.fixture"
+        )
+        assert marks == []
+
+    def test_rule_exempts_test_code(self):
+        marks, _ = analyze_fixture(
+            "rl008_bad.py", "repro.experiments.fixture", is_test=True
+        )
+        assert marks == []
+
+    def test_units_module_itself_is_exempt(self):
+        marks, _ = analyze_fixture("rl008_bad.py", "repro.units")
+        assert marks == []
+
+
+class TestRL009EffectPropagation:
+    def test_bad_fixture_exact_positions(self):
+        marks, findings = analyze_fixture(
+            "rl009_bad.py", "repro.experiments.fixture"
+        )
+        assert marks == [
+            ("RL009", 10, 43),  # the call that starts the impure path
+        ]
+        message = findings[0].message
+        assert "cache-key producer" in message
+        assert "transitively impure" in message
+        assert "`repro.experiments.fixture._token`" in message
+        assert "-> `repro.experiments.fixture._now`" in message
+        assert "time.time()" in message
+
+    def test_good_fixture_clean(self):
+        marks, _ = analyze_fixture(
+            "rl009_good.py", "repro.experiments.fixture"
+        )
+        assert marks == []
+
+    def test_rule_exempts_test_code(self):
+        marks, _ = analyze_fixture(
+            "rl009_bad.py", "repro.experiments.fixture", is_test=True
+        )
+        assert marks == []

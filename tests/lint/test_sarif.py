@@ -1,0 +1,96 @@
+"""SARIF 2.1.0 output: schema shape, locations, rule catalogue."""
+
+from __future__ import annotations
+
+import json
+
+from reprolint.engine import Finding
+from reprolint.sarif import (
+    SARIF_SCHEMA,
+    SARIF_VERSION,
+    render_sarif,
+)
+
+RULES = (
+    ("RL000", "suppression hygiene"),
+    ("RL008", "interprocedural units inference"),
+)
+
+FINDING = Finding(
+    rule_id="RL008",
+    path="src/repro/vmin/model.py",
+    line=42,
+    col=7,
+    message="unit mismatch: argument flows V into parameter `x`",
+)
+
+
+class TestSarifShape:
+    def test_top_level_schema_shape(self):
+        log = render_sarif([FINDING], RULES)
+        assert log["$schema"] == SARIF_SCHEMA
+        assert log["version"] == SARIF_VERSION
+        assert isinstance(log["runs"], list) and len(log["runs"]) == 1
+        run = log["runs"][0]
+        assert set(run) == {"tool", "results"}
+        assert run["tool"]["driver"]["name"] == "reprolint"
+
+    def test_rule_catalogue_entries(self):
+        log = render_sarif([], RULES)
+        rules = log["runs"][0]["tool"]["driver"]["rules"]
+        assert [r["id"] for r in rules] == ["RL000", "RL008"]
+        for rule in rules:
+            assert rule["shortDescription"]["text"]
+            assert rule["name"].startswith("Reprolint")
+
+    def test_result_location_is_one_based_column(self):
+        log = render_sarif([FINDING], RULES)
+        (result,) = log["runs"][0]["results"]
+        assert result["ruleId"] == "RL008"
+        assert result["level"] == "error"
+        assert result["message"]["text"] == FINDING.message
+        location = result["locations"][0]["physicalLocation"]
+        assert (
+            location["artifactLocation"]["uri"]
+            == "src/repro/vmin/model.py"
+        )
+        # SARIF regions are 1-based; reprolint cols are 0-based.
+        assert location["region"]["startLine"] == 42
+        assert location["region"]["startColumn"] == 8
+
+    def test_rule_index_points_into_the_catalogue(self):
+        log = render_sarif([FINDING], RULES)
+        run = log["runs"][0]
+        (result,) = run["results"]
+        index = result["ruleIndex"]
+        assert (
+            run["tool"]["driver"]["rules"][index]["id"]
+            == result["ruleId"]
+        )
+
+    def test_unknown_rule_omits_index(self):
+        odd = Finding(
+            rule_id="RLXXX", path="x.py", line=1, col=0, message="m"
+        )
+        log = render_sarif([odd], RULES)
+        (result,) = log["runs"][0]["results"]
+        assert "ruleIndex" not in result
+
+    def test_log_is_json_serializable(self):
+        log = render_sarif([FINDING], RULES)
+        assert json.loads(json.dumps(log)) == log
+
+    def test_windows_paths_become_uris(self):
+        finding = Finding(
+            rule_id="RL000",
+            path="src\\repro\\x.py",
+            line=1,
+            col=0,
+            message="m",
+        )
+        log = render_sarif([finding], RULES)
+        (result,) = log["runs"][0]["results"]
+        uri = result["locations"][0]["physicalLocation"][
+            "artifactLocation"
+        ]["uri"]
+        assert uri == "src/repro/x.py"

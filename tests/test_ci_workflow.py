@@ -80,7 +80,8 @@ def test_lint_job_runs_ruff(workflow):
 def test_lint_invariants_job_runs_reprolint_and_mypy(workflow):
     job = workflow["jobs"]["lint-invariants"]
     text = _steps_text(job)
-    assert "python -m reprolint src tests --format github" in text
+    # Ephemeral runners: always the full, cache-free sweep.
+    assert "python -m reprolint src tests --no-cache --format github" in text
     assert "python -m mypy" in text
     # reprolint must run before anything is installed: it is the same
     # stdlib-only invocation the pre-commit hook uses.
@@ -92,6 +93,26 @@ def test_lint_invariants_job_runs_reprolint_and_mypy(workflow):
         i for i, run in enumerate(runs) if "pip install" in run
     )
     assert reprolint_idx < install_idx
+
+
+def test_lint_invariants_job_uploads_sarif(workflow):
+    job = workflow["jobs"]["lint-invariants"]
+    text = _steps_text(job)
+    assert "--format sarif" in text
+    assert "> reprolint.sarif" in text
+    uploads = [
+        step
+        for step in job["steps"]
+        if "codeql-action/upload-sarif" in str(step.get("uses", ""))
+    ]
+    assert uploads, "lint-invariants must upload the SARIF report"
+    upload = uploads[0]
+    # Findings must still reach code scanning when the annotation step
+    # already failed the job.
+    assert str(upload.get("if", "")) == "always()"
+    assert upload["with"]["sarif_file"] == "reprolint.sarif"
+    assert upload["with"]["category"] == "reprolint"
+    assert job["permissions"]["security-events"] == "write"
 
 
 def test_lint_invariants_job_validates_spec_files(workflow):

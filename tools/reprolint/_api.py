@@ -8,9 +8,13 @@ anything. Both ``__init__`` modules just do ``from ._api import *``.
 
 from __future__ import annotations
 
+from .cache import AnalysisCache, CACHE_DIR_NAME
+from .callgraph import Program, dependents_closure
 from .cli import main
+from .driver import AnalysisStats, analyze_file, analyze_paths
 from .engine import (
     Finding,
+    ProgramRule,
     ProjectRule,
     Rule,
     SourceFile,
@@ -19,19 +23,36 @@ from .engine import (
     lint_paths,
     lint_source,
 )
-from .rules import ALL_RULES, PROJECT_RULES, RULE_BY_ID
+from .rules import ALL_RULES, PROGRAM_RULES, PROJECT_RULES, RULE_BY_ID
+from .sarif import render_sarif
+from .symbols import FileSummary, build_summary
+from .unitflow import ResolvedUnit, resolve_term
 
 __all__ = [
     "ALL_RULES",
+    "AnalysisCache",
+    "AnalysisStats",
+    "CACHE_DIR_NAME",
+    "FileSummary",
     "Finding",
+    "PROGRAM_RULES",
     "PROJECT_RULES",
+    "Program",
+    "ProgramRule",
     "ProjectRule",
     "RULE_BY_ID",
+    "ResolvedUnit",
     "Rule",
     "SUPPRESSION_RULE_ID",
     "SourceFile",
+    "analyze_file",
+    "analyze_paths",
+    "build_summary",
+    "dependents_closure",
     "lint_file",
     "lint_paths",
     "lint_source",
     "main",
+    "render_sarif",
+    "resolve_term",
 ]

@@ -1,0 +1,162 @@
+"""Incremental analysis cache, keyed by per-file content hash.
+
+Warm whole-repo runs must stay fast enough for a pre-commit hook, so
+per-file work (parse, file rules, summary extraction) is persisted
+under ``.reprolint-cache/`` and reused whenever a file's content hash
+is unchanged. Each entry stores everything a warm run needs:
+
+* the file's sha256;
+* its :class:`~reprolint.symbols.FileSummary` (symbols, call edges,
+  unit signatures, effect sets) for the whole-program passes;
+* its per-file findings (file rules + suppression hygiene), stored
+  without the path and re-anchored at reuse time;
+* its parsed suppression table.
+
+Entries are invalidated **transitively**: editing a file re-analyzes
+it *and* every file that depends on it through the import/call graph
+(the dependency edges of the previous run are stored alongside the
+entries). The whole-program rules always re-run — they are cheap, as
+they operate on summaries only.
+
+The cache never affects findings, only how much work it takes to
+compute them; ``--no-cache`` bypasses it entirely.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+#: Bump when summaries, findings or rule semantics change shape —
+#: a stale schema must read as a cold cache, never as wrong results.
+CACHE_VERSION = 2
+
+#: Default cache directory name, created under the project root.
+CACHE_DIR_NAME = ".reprolint-cache"
+
+_Suppressions = Dict[int, Tuple[frozenset, Optional[str]]]
+
+
+@dataclass
+class CacheEntry:
+    """Cached per-file analysis products."""
+
+    sha256: str
+    summary: Dict[str, Any]
+    #: Findings as ``{"rule", "line", "col", "message"}`` (no path).
+    findings: List[Dict[str, Any]] = field(default_factory=list)
+    #: ``{line: [[rule ids...], reason-or-null]}``.
+    suppressions: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "sha256": self.sha256,
+            "summary": self.summary,
+            "findings": self.findings,
+            "suppressions": self.suppressions,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CacheEntry":
+        return cls(
+            sha256=data["sha256"],
+            summary=data["summary"],
+            findings=list(data["findings"]),
+            suppressions=dict(data["suppressions"]),
+        )
+
+    def suppression_table(self) -> _Suppressions:
+        """Suppressions in the engine's in-memory form."""
+        return {
+            int(line): (frozenset(entry[0]), entry[1])
+            for line, entry in self.suppressions.items()
+        }
+
+
+def encode_suppressions(table: _Suppressions) -> Dict[str, Any]:
+    """Engine suppression table -> JSON-stable form."""
+    return {
+        str(line): [sorted(rules), reason]
+        for line, (rules, reason) in table.items()
+    }
+
+
+class AnalysisCache:
+    """On-disk store of per-file entries plus the dependency graph."""
+
+    def __init__(self, directory: Path):
+        self.directory = directory
+        self.data_path = directory / "summaries.json"
+        #: repo-relative path -> entry.
+        self.files: Dict[str, CacheEntry] = {}
+        #: repo-relative path -> repo-relative paths it depends on.
+        self.deps: Dict[str, List[str]] = {}
+
+    # -- persistence -----------------------------------------------------------
+
+    @classmethod
+    def load(cls, directory: Path) -> "AnalysisCache":
+        """Load a cache; any corruption or version skew reads as cold."""
+        cache = cls(directory)
+        try:
+            payload = json.loads(
+                cache.data_path.read_text(encoding="utf-8")
+            )
+        except (OSError, ValueError):
+            return cache
+        if payload.get("version") != CACHE_VERSION:
+            return cache
+        try:
+            cache.files = {
+                path: CacheEntry.from_dict(entry)
+                for path, entry in payload["files"].items()
+            }
+            cache.deps = {
+                path: list(deps)
+                for path, deps in payload["deps"].items()
+            }
+        except (KeyError, TypeError, ValueError):
+            cache.files = {}
+            cache.deps = {}
+        return cache
+
+    def save(self) -> None:
+        """Atomically persist entries + dependency graph."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        gitignore = self.directory / ".gitignore"
+        if not gitignore.exists():
+            gitignore.write_text("*\n", encoding="utf-8")
+        payload = {
+            "version": CACHE_VERSION,
+            "files": {
+                path: entry.to_dict()
+                for path, entry in sorted(self.files.items())
+            },
+            "deps": {
+                path: sorted(deps)
+                for path, deps in sorted(self.deps.items())
+            },
+        }
+        tmp_path = self.data_path.with_suffix(".json.tmp")
+        tmp_path.write_text(
+            json.dumps(payload, sort_keys=True), encoding="utf-8"
+        )
+        os.replace(tmp_path, self.data_path)
+
+    # -- queries ---------------------------------------------------------------
+
+    def fresh_entry(
+        self, rel_path: str, sha256: str
+    ) -> Optional[CacheEntry]:
+        """The entry for ``rel_path`` iff its content hash matches."""
+        entry = self.files.get(rel_path)
+        if entry is not None and entry.sha256 == sha256:
+            return entry
+        return None
+
+    def dep_sets(self) -> Dict[str, Set[str]]:
+        """The stored dependency graph with set-valued edges."""
+        return {path: set(deps) for path, deps in self.deps.items()}

@@ -2,7 +2,15 @@
 
 Exit codes: 0 clean, 1 findings reported, 2 usage/target errors.
 Formats: ``text`` (human, default), ``json`` (machine), ``github``
-(workflow annotation commands understood by GitHub Actions).
+(workflow annotation commands understood by GitHub Actions), ``sarif``
+(SARIF 2.1.0 for code-scanning upload).
+
+Incremental analysis is on by default: per-file work is cached under
+``.reprolint-cache/`` at the project root and reused while content
+hashes and transitive dependencies are unchanged (``--no-cache``
+bypasses it). ``--changed[=REF]`` restricts *reporting* to files
+changed against a git ref plus their transitive dependents — the
+pre-commit configuration runs in this mode.
 """
 
 from __future__ import annotations
@@ -13,8 +21,11 @@ import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
 
-from .engine import Finding, SUPPRESSION_RULE_ID, lint_paths
-from .rules import ALL_RULES, PROJECT_RULES, RULE_BY_ID
+from .cache import CACHE_DIR_NAME
+from .driver import AnalysisStats, analyze_paths
+from .engine import Finding, SUPPRESSION_RULE_ID, find_project_root
+from .rules import ALL_RULES, PROGRAM_RULES, PROJECT_RULES, RULE_BY_ID
+from .sarif import render_sarif
 
 #: Default lint targets when none are given on the command line.
 DEFAULT_TARGETS = ("src", "tests")
@@ -26,7 +37,8 @@ def build_parser() -> argparse.ArgumentParser:
         description=(
             "AST-based invariant checks for this repository: units "
             "discipline, determinism, kernel/scalar parity, cache-key "
-            "purity and hot-path hygiene."
+            "purity, hot-path hygiene, and whole-program units/effect "
+            "inference."
         ),
     )
     parser.add_argument(
@@ -39,7 +51,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json", "github"),
+        choices=("text", "json", "github", "sarif"),
         default="text",
         help="report format (default: text)",
     )
@@ -47,6 +59,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--select",
         metavar="RULES",
         help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--changed",
+        nargs="?",
+        const="HEAD",
+        default=None,
+        metavar="REF",
+        help=(
+            "report findings only for files changed vs the git ref "
+            "(default REF: HEAD) and their transitive dependents"
+        ),
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help=(
+            "incremental-cache directory (default: "
+            f"<project root>/{CACHE_DIR_NAME})"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the incremental analysis cache",
     )
     parser.add_argument(
         "--list-rules",
@@ -68,6 +106,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     rules = list(ALL_RULES)
     project_rules = list(PROJECT_RULES)
+    program_rules = list(PROGRAM_RULES)
     if options.select:
         selected = {
             token.strip().upper()
@@ -83,6 +122,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         project_rules = [
             r for r in project_rules if r.rule_id in selected
         ]
+        program_rules = [
+            r for r in program_rules if r.rule_id in selected
+        ]
 
     raw_paths = list(options.paths) or list(DEFAULT_TARGETS)
     targets: List[Path] = []
@@ -96,9 +138,37 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return 2
         targets.append(path)
 
-    findings = lint_paths(targets, rules, project_rules)
+    root = find_project_root(targets)
+    cache_dir = options.cache_dir
+    if cache_dir is None and not options.no_cache and root is not None:
+        cache_dir = root / CACHE_DIR_NAME
+    if options.no_cache:
+        cache_dir = None
+
+    try:
+        findings, stats = analyze_paths(
+            targets,
+            rules,
+            project_rules,
+            program_rules,
+            root=root,
+            cache_dir=cache_dir,
+            changed_ref=options.changed,
+        )
+    except RuntimeError as exc:
+        print(f"reprolint: {exc}", file=sys.stderr)
+        return 2
     report(findings, options.format)
+    print(_stats_line(stats), file=sys.stderr)
     return 1 if findings else 0
+
+
+def _stats_line(stats: AnalysisStats) -> str:
+    return (
+        f"reprolint: analyzed {stats.files_analyzed} of "
+        f"{stats.files_total} files "
+        f"({stats.files_from_cache} from cache)"
+    )
 
 
 def report(findings: Sequence[Finding], fmt: str) -> None:
@@ -108,6 +178,16 @@ def report(findings: Sequence[Finding], fmt: str) -> None:
                 [finding.as_dict() for finding in findings], indent=2
             )
         )
+        return
+    if fmt == "sarif":
+        catalogue = [
+            (SUPPRESSION_RULE_ID, "suppression hygiene"),
+            *(
+                (rule_id, RULE_BY_ID[rule_id].title)
+                for rule_id in sorted(RULE_BY_ID)
+            ),
+        ]
+        print(json.dumps(render_sarif(findings, catalogue), indent=2))
         return
     for finding in findings:
         if fmt == "github":

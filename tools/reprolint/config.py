@@ -82,6 +82,111 @@ UNIT_SUFFIXES = frozenset(
 #: Marker decorator of cache-key-producing functions (RL004).
 CACHE_KEY_DECORATOR = "cache_key_producer"
 
+#: Every rule id the suite can emit. Suppression comments naming an id
+#: outside this set are typos that would silence nothing — RL000 flags
+#: them (see :func:`reprolint.engine.suppression_findings`).
+KNOWN_RULE_IDS = frozenset(
+    {
+        "RL000",
+        "RL001",
+        "RL002",
+        "RL003",
+        "RL004",
+        "RL005",
+        "RL006",
+        "RL007",
+        "RL008",
+        "RL009",
+    }
+)
+
+#: Per-path rule scoping: repo-relative path prefixes mapped to the
+#: rule ids disabled beneath them. ``examples/`` holds freestanding
+#: demo scripts whose ad-hoc locals are outside the interprocedural
+#: units/effects contracts.
+PATH_RULE_SCOPES = (
+    ("examples/", frozenset({"RL008", "RL009"})),
+)
+
+
+def rules_disabled_for(rel_path: str) -> frozenset:
+    """Rule ids disabled for a repo-relative path by PATH_RULE_SCOPES."""
+    disabled = set()
+    normalized = rel_path.replace("\\", "/")
+    for prefix, rule_ids in PATH_RULE_SCOPES:
+        if normalized.startswith(prefix) or f"/{prefix}" in normalized:
+            disabled.update(rule_ids)
+    return frozenset(disabled)
+
+
+# -- RL008 interprocedural units inference -------------------------------------
+
+#: The dimensionless unit (plain counts, ratios, bare literals).
+DIMENSIONLESS = "1"
+
+#: Canonical units of the RL008 lattice.
+UNIT_LATTICE = frozenset(
+    {"mV", "V", "Hz", "MHz", "GHz", "W", "mW", "J", "s", DIMENSIONLESS}
+)
+
+#: Identifier suffix token -> canonical unit (``safe_vmin_mv`` -> mV).
+SUFFIX_UNITS = {
+    "mv": "mV",
+    "millivolts": "mV",
+    "v": "V",
+    "volts": "V",
+    "hz": "Hz",
+    "mhz": "MHz",
+    "ghz": "GHz",
+    "w": "W",
+    "watts": "W",
+    "mw": "mW",
+    "j": "J",
+    "joules": "J",
+    "s": "s",
+    "secs": "s",
+    "seconds": "s",
+}
+
+#: ``repro.units`` converters: qualname -> (parameter units, return
+#: unit). The seed of the RL008 inference — these are the only places
+#: where a value legitimately changes unit.
+UNIT_CONVERTERS = {
+    "repro.units.ghz": (("GHz",), "Hz"),
+    "repro.units.mhz": (("MHz",), "Hz"),
+    "repro.units.hz_to_ghz": (("Hz",), "GHz"),
+    "repro.units.mv_to_v": (("mV",), "V"),
+    "repro.units.v_to_mv": (("V",), "mV"),
+    "repro.units.joules": (("W", "s"), "J"),
+    "repro.units.fmt_freq": (("Hz",), None),
+    "repro.units.fmt_mv": (("mV",), None),
+}
+
+#: ``typing.Annotated`` unit aliases exported by ``repro.units``:
+#: qualname -> unit. Mirrors the alias section of
+#: ``src/repro/units.py`` so annotations resolve even when that file
+#: is not among the lint targets.
+BUILTIN_UNIT_ALIASES = {
+    "repro.units.Millivolts": "mV",
+    "repro.units.Volts": "V",
+    "repro.units.Hertz": "Hz",
+    "repro.units.HertzInt": "Hz",
+    "repro.units.Megahertz": "MHz",
+    "repro.units.Gigahertz": "GHz",
+    "repro.units.Watts": "W",
+    "repro.units.Joules": "J",
+    "repro.units.Seconds": "s",
+}
+
+#: Modules exempt from RL008's inference: the converters themselves
+#: (they *define* the unit boundaries) and the display-only formatter.
+UNITFLOW_EXEMPT_MODULES = UNITS_EXEMPT_MODULES
+
+#: Module prefixes whose effects RL009 does not propagate: telemetry
+#: reads monotonic clocks by design, and its timings are excluded from
+#: every result fingerprint (docs/OBSERVABILITY.md).
+EFFECT_EXEMPT_MODULES = ("repro.telemetry",)
+
 #: Scalar model modules whose public API must appear in the parity
 #: registry (RL003): dotted name -> repo-relative path.
 SCALAR_MODEL_MODULES = {

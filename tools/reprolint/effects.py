@@ -1,0 +1,204 @@
+"""RL009 — transitive effect propagation through the call graph.
+
+RL004 and RL002 flag *direct* offenders only: a ``@cache_key_producer``
+that itself reads ``os.environ``, a ``repro.sim`` function that itself
+calls ``time.time()``. RL009 closes the loophole those rules leave
+open — hiding the effect one call away:
+
+* **cache-key purity, transitively**: a ``@cache_key_producer`` that
+  reaches (at any call depth) a function reading the environment, the
+  clock, ``global`` state or an RNG stream produces keys that are not
+  pure functions of their inputs;
+* **determinism contamination, transitively**: a function in a
+  deterministic module (``repro.sim``, ``repro.vmin``, ...) that calls
+  out to a helper *outside* those modules which reads a clock or a
+  global RNG stream is just as irreproducible as calling it directly
+  (the direct, in-scope case is already RL002's).
+
+Effects are pruned at :data:`~reprolint.config.EFFECT_EXEMPT_MODULES`
+(telemetry reads monotonic clocks by design; its timings are excluded
+from every result fingerprint). Diagnostics carry the full call chain
+from the root to the effect site.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from .callgraph import Program
+from .config import (
+    DETERMINISTIC_MODULES,
+    EFFECT_EXEMPT_MODULES,
+)
+from .engine import Finding, ProgramRule
+from .symbols import CallSite, EffectInfo, FileSummary, FunctionInfo
+
+#: Effect kinds that break cache-key purity (RL004's set, closed
+#: transitively, plus RNG effects — a key must not depend on any of
+#: them).
+PURITY_EFFECTS = frozenset(
+    {"env_read", "wall_clock", "global_stmt", "unseeded_rng", "global_rng"}
+)
+
+#: Effect kinds that break run-to-run determinism (RL002's set).
+DETERMINISM_EFFECTS = frozenset(
+    {"wall_clock", "unseeded_rng", "global_rng"}
+)
+
+#: Call-graph traversal depth bound (paths longer than this are noise).
+_MAX_DEPTH = 12
+
+
+def _module_has_prefix(module: str, prefixes: Tuple[str, ...]) -> bool:
+    return any(
+        module == prefix or module.startswith(prefix + ".")
+        for prefix in prefixes
+    )
+
+
+def in_deterministic_scope(module: str) -> bool:
+    """Whether a module must stay bit-reproducible (RL002's scope)."""
+    return _module_has_prefix(module, DETERMINISTIC_MODULES)
+
+
+def is_effect_exempt(module: str) -> bool:
+    """Whether a module's effects are by-design and never propagated."""
+    return _module_has_prefix(module, EFFECT_EXEMPT_MODULES)
+
+
+#: One step of an impure path: the call site taken and the callee.
+_Step = Tuple[CallSite, FileSummary, FunctionInfo]
+
+
+class EffectPropagation(ProgramRule):
+    """RL009: purity and determinism hold transitively, not just locally."""
+
+    rule_id = "RL009"
+    title = "transitive effect propagation"
+
+    def check_program(self, program: Program) -> Iterator[Finding]:
+        finder = _PathFinder(program)
+        for path in sorted(program.summaries):
+            summary = program.summaries[path]
+            if summary.is_test:
+                continue
+            for func in summary.functions:
+                if func.is_cache_key:
+                    yield from self._check_root(
+                        finder,
+                        summary,
+                        func,
+                        PURITY_EFFECTS,
+                        purity=True,
+                    )
+                if in_deterministic_scope(summary.module):
+                    yield from self._check_root(
+                        finder,
+                        summary,
+                        func,
+                        DETERMINISM_EFFECTS,
+                        purity=False,
+                    )
+
+    def _check_root(
+        self,
+        finder: "_PathFinder",
+        summary: FileSummary,
+        func: FunctionInfo,
+        kinds: frozenset,
+        purity: bool,
+    ) -> Iterator[Finding]:
+        found = finder.impure_paths(func, kinds, purity)
+        reported: set = set()
+        for steps, effect in found:
+            leaf = steps[-1][2]
+            key = (steps[0][0].line, steps[0][0].col, leaf.qualname)
+            if key in reported:
+                continue
+            reported.add(key)
+            first_call = steps[0][0]
+            chain = " -> ".join(
+                f"`{step[2].qualname}`" for step in steps
+            )
+            contract = (
+                f"cache-key producer `{func.qualname}` is "
+                "transitively impure"
+                if purity
+                else f"deterministic-scope `{func.qualname}` is "
+                "transitively nondeterministic"
+            )
+            yield self.finding_at(
+                summary.path,
+                first_call.line,
+                first_call.col,
+                f"{contract}: via {chain}, `{leaf.qualname}` "
+                f"{effect.detail} "
+                f"({leaf.qualname.rsplit('.', 1)[0]}:{effect.line})",
+            )
+
+
+class _PathFinder:
+    """Finds shortest impure call paths from a root function."""
+
+    def __init__(self, program: Program):
+        self.program = program
+
+    def impure_paths(
+        self,
+        root: FunctionInfo,
+        kinds: frozenset,
+        purity: bool,
+    ) -> List[Tuple[List[_Step], EffectInfo]]:
+        """BFS for call paths from ``root`` to an effect of ``kinds``.
+
+        Depth starts at the root's *callees* — the root's own direct
+        effects are RL004/RL002 territory and are never re-reported
+        here.
+        """
+        results: List[Tuple[List[_Step], EffectInfo]] = []
+        visited = {root.qualname}
+        frontier: List[List[_Step]] = []
+        for edge in self.program.call_edges(root):
+            frontier.append([edge])
+        depth = 1
+        while frontier and depth <= _MAX_DEPTH:
+            next_frontier: List[List[_Step]] = []
+            for steps in frontier:
+                _, callee_summary, callee = steps[-1]
+                if callee.qualname in visited:
+                    continue
+                visited.add(callee.qualname)
+                if is_effect_exempt(callee_summary.module):
+                    continue
+                effect = self._effect_of(
+                    callee_summary, callee, kinds, purity
+                )
+                if effect is not None:
+                    results.append((steps, effect))
+                    continue
+                for edge in self.program.call_edges(callee):
+                    if edge[2].qualname not in visited:
+                        next_frontier.append(steps + [edge])
+            frontier = next_frontier
+            depth += 1
+        return results
+
+    def _effect_of(
+        self,
+        summary: FileSummary,
+        func: FunctionInfo,
+        kinds: frozenset,
+        purity: bool,
+    ) -> Optional[EffectInfo]:
+        """An effect of ``func`` that the current contract counts.
+
+        For the determinism contract, direct effects *inside* the
+        deterministic scope are RL002's findings already; only effects
+        hidden in out-of-scope helpers propagate here.
+        """
+        if not purity and in_deterministic_scope(summary.module):
+            return None
+        for effect in func.effects:
+            if effect.kind in kinds:
+                return effect
+        return None

@@ -27,6 +27,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+from .config import KNOWN_RULE_IDS
+
 #: Rule id of the meta-rule guarding the suppression syntax itself.
 SUPPRESSION_RULE_ID = "RL000"
 
@@ -38,6 +40,7 @@ _SKIPPED_DIR_NAMES = {
     ".ruff_cache",
     ".pytest_cache",
     ".vmin-cache",
+    ".reprolint-cache",
     "build",
     "dist",
     ".venv",
@@ -185,6 +188,37 @@ class ProjectRule:
         raise NotImplementedError
 
 
+class ProgramRule:
+    """Base class of whole-program rules.
+
+    Program rules run once per invocation against a
+    :class:`reprolint.callgraph.Program` — the symbol table, call
+    graph and unit/effect summaries of every analyzed file — instead
+    of a single file's AST. They are what lets reprolint reason
+    *across* function and file boundaries (RL008 units inference,
+    RL009 effect propagation).
+    """
+
+    rule_id: str = ""
+    title: str = ""
+
+    def check_program(self, program: "object") -> Iterator[Finding]:
+        """Yield findings for the assembled program model."""
+        raise NotImplementedError
+
+    def finding_at(
+        self, path: str, line: int, col: int, message: str
+    ) -> Finding:
+        """Finding at an explicit location (summaries carry no AST)."""
+        return Finding(
+            rule_id=self.rule_id,
+            path=path,
+            line=line,
+            col=col,
+            message=message,
+        )
+
+
 # -- suppression handling ------------------------------------------------------
 
 
@@ -226,6 +260,21 @@ def suppression_findings(source: SourceFile) -> List[Finding]:
                         "'# reprolint: disable="
                         + ",".join(sorted(rules))
                         + " -- <why this is safe>'"
+                    ),
+                )
+            )
+        unknown = sorted(rules - KNOWN_RULE_IDS)
+        if unknown:
+            found.append(
+                Finding(
+                    rule_id=SUPPRESSION_RULE_ID,
+                    path=str(source.path),
+                    line=lineno,
+                    col=0,
+                    message=(
+                        "suppression names unknown rule id(s) "
+                        + ", ".join(unknown)
+                        + " — it silences nothing"
                     ),
                 )
             )
@@ -277,6 +326,46 @@ def lint_source(
     return sort_findings(findings)
 
 
+#: Exceptions :meth:`SourceFile.load` can raise for a broken target.
+LOAD_ERRORS = (SyntaxError, UnicodeDecodeError, OSError)
+
+
+def load_failure_finding(path: Path, exc: Exception) -> Finding:
+    """Structured RL000 diagnostic for an unloadable file.
+
+    A file that does not parse — or cannot even be decoded — must
+    surface as a finding (file, reason, exit code 1), never as an
+    unhandled traceback: pre-commit and CI rely on the structured
+    output.
+    """
+    if isinstance(exc, SyntaxError):
+        return Finding(
+            rule_id=SUPPRESSION_RULE_ID,
+            path=str(path),
+            line=exc.lineno or 1,
+            col=(exc.offset or 1) - 1,
+            message=f"file does not parse: {exc.msg}",
+        )
+    if isinstance(exc, UnicodeDecodeError):
+        return Finding(
+            rule_id=SUPPRESSION_RULE_ID,
+            path=str(path),
+            line=1,
+            col=0,
+            message=(
+                f"file is not valid {exc.encoding}: {exc.reason} "
+                f"at byte {exc.start}"
+            ),
+        )
+    return Finding(
+        rule_id=SUPPRESSION_RULE_ID,
+        path=str(path),
+        line=1,
+        col=0,
+        message=f"file cannot be read: {exc}",
+    )
+
+
 def lint_file(
     path: Path,
     rules: Sequence[Rule],
@@ -291,16 +380,8 @@ def lint_file(
     """
     try:
         source = SourceFile.load(path, module=module, is_test=is_test)
-    except SyntaxError as exc:
-        return [
-            Finding(
-                rule_id=SUPPRESSION_RULE_ID,
-                path=str(path),
-                line=exc.lineno or 1,
-                col=(exc.offset or 1) - 1,
-                message=f"file does not parse: {exc.msg}",
-            )
-        ]
+    except LOAD_ERRORS as exc:
+        return [load_failure_finding(path, exc)]
     findings = lint_source(source, rules) + suppression_findings(source)
     return filter_suppressed(
         findings, {str(source.path): parse_suppressions(source.text)}
@@ -353,16 +434,8 @@ def lint_paths(
     for path in iter_target_files(paths):
         try:
             source = SourceFile.load(path)
-        except SyntaxError as exc:
-            findings.append(
-                Finding(
-                    rule_id=SUPPRESSION_RULE_ID,
-                    path=str(path),
-                    line=exc.lineno or 1,
-                    col=(exc.offset or 1) - 1,
-                    message=f"file does not parse: {exc.msg}",
-                )
-            )
+        except LOAD_ERRORS as exc:
+            findings.append(load_failure_finding(path, exc))
             continue
         suppressions[str(source.path)] = parse_suppressions(source.text)
         findings.extend(lint_source(source, rules))

@@ -4,7 +4,9 @@ from __future__ import annotations
 
 from typing import Dict, List, Union
 
-from ..engine import ProjectRule, Rule
+from ..effects import EffectPropagation
+from ..engine import ProgramRule, ProjectRule, Rule
+from ..unitflow import UnitFlow
 from .determinism import Determinism
 from .hygiene import HotPathHygiene
 from .parity import KernelScalarParity
@@ -28,20 +30,30 @@ PROJECT_RULES: List[ProjectRule] = [
     KernelScalarParity(),
 ]
 
+#: Whole-program rules (run over the assembled call graph).
+PROGRAM_RULES: List[ProgramRule] = [
+    UnitFlow(),
+    EffectPropagation(),
+]
+
 #: id -> rule, for ``--select`` and ``--list-rules``.
-RULE_BY_ID: Dict[str, Union[Rule, ProjectRule]] = {
-    rule.rule_id: rule for rule in (*ALL_RULES, *PROJECT_RULES)
+RULE_BY_ID: Dict[str, Union[Rule, ProjectRule, ProgramRule]] = {
+    rule.rule_id: rule
+    for rule in (*ALL_RULES, *PROJECT_RULES, *PROGRAM_RULES)
 }
 
 __all__ = [
     "ALL_RULES",
+    "PROGRAM_RULES",
     "PROJECT_RULES",
     "RULE_BY_ID",
     "CacheKeyPurity",
     "Determinism",
+    "EffectPropagation",
     "HotPathHygiene",
     "KernelScalarParity",
     "PlatformNameDiscipline",
     "TelemetryNameDiscipline",
+    "UnitFlow",
     "UnitsDiscipline",
 ]

@@ -112,7 +112,7 @@ class Determinism(Rule):
     def _check_set_iteration(
         self,
         source: SourceFile,
-        node,
+        node: "ast.For | ast.comprehension",
     ) -> Iterator[Finding]:
         iterable = node.iter
         reason = _set_expression(iterable)

@@ -17,7 +17,7 @@ survive if conversions stay explicit. Two checks:
 from __future__ import annotations
 
 import ast
-from typing import Iterator
+from typing import Iterator, Optional
 
 from ..astutil import expr_identifier, name_tokens, unit_suffix
 from ..config import (
@@ -132,7 +132,7 @@ class UnitsDiscipline(Rule):
             )
 
 
-def _const_factor(node: ast.AST):
+def _const_factor(node: ast.AST) -> Optional[float]:
     """Positive power-of-ten constant value, or None."""
     if isinstance(node, ast.Constant) and isinstance(
         node.value, (int, float)

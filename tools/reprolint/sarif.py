@@ -1,0 +1,86 @@
+"""SARIF 2.1.0 output.
+
+Renders findings as a single-run SARIF log so CI can upload them to
+GitHub code scanning (``github/codeql-action/upload-sarif``) and the
+findings appear inline on pull requests. Only the schema subset code
+scanning consumes is emitted: the tool driver with its rule catalogue,
+and one ``result`` per finding with a physical location.
+
+SARIF columns are 1-based; reprolint's ``col`` is the 0-based AST
+``col_offset``, so ``startColumn = col + 1`` (same shift the GitHub
+annotation format applies).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence, Tuple
+
+from .engine import Finding
+
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+SARIF_VERSION = "2.1.0"
+
+#: (rule id, short description) pairs for the driver's rule catalogue.
+RuleMeta = Tuple[str, str]
+
+
+def render_sarif(
+    findings: Sequence[Finding],
+    rules: Sequence[RuleMeta],
+    tool_version: str = "0",
+) -> Dict[str, Any]:
+    """Findings + rule catalogue -> SARIF 2.1.0 log object."""
+    catalogue = sorted(dict(rules).items())
+    rule_index = {rule_id: i for i, (rule_id, _) in enumerate(catalogue)}
+    results: List[Dict[str, Any]] = []
+    for finding in findings:
+        result: Dict[str, Any] = {
+            "ruleId": finding.rule_id,
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path.replace("\\", "/"),
+                        },
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": finding.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        index = rule_index.get(finding.rule_id)
+        if index is not None:
+            result["ruleIndex"] = index
+        results.append(result)
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "reprolint",
+                        "version": tool_version,
+                        "rules": [
+                            {
+                                "id": rule_id,
+                                "name": _rule_name(rule_id),
+                                "shortDescription": {"text": title},
+                            }
+                            for rule_id, title in catalogue
+                        ],
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def _rule_name(rule_id: str) -> str:
+    """CamelCase-ish symbolic name code scanning displays."""
+    return f"Reprolint{rule_id}"

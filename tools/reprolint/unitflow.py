@@ -1,0 +1,326 @@
+"""RL008 — interprocedural dimensional inference.
+
+Resolves the unit terms recorded in file summaries
+(:mod:`reprolint.symbols`) across function boundaries and reports
+flows whose units disagree:
+
+* an argument whose inferred unit contradicts the callee parameter's
+  declared (``typing.Annotated`` alias) or heuristic (``*_mv`` suffix)
+  unit — even when the unit was established by a converter several
+  call frames away;
+* additive/comparison uses (``+``, ``-``, ``<`` ...) whose operand
+  units differ (mV + V, Hz vs GHz);
+* a function whose declared return unit contradicts what its return
+  expressions actually carry.
+
+``*``/``/`` compose units (W × s = J, J / s = W, same / same = 1);
+additive operators require equal units; anything the lattice cannot
+prove stays unknown and is never reported. Every diagnostic carries
+the full inference chain so the mismatch is auditable end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterator, List, Optional, Tuple
+
+from .callgraph import Program
+from .config import (
+    DIMENSIONLESS,
+    UNIT_CONVERTERS,
+    UNITFLOW_EXEMPT_MODULES,
+)
+from .engine import Finding, ProgramRule
+from .symbols import (
+    CallSite,
+    FileSummary,
+    FunctionInfo,
+    ParamInfo,
+    Term,
+)
+
+#: Longest provenance chain rendered in a diagnostic.
+_MAX_CHAIN = 6
+
+
+@dataclass
+class ResolvedUnit:
+    """A concrete unit with evidence strength and provenance chain."""
+
+    unit: str
+    #: "strong" (annotation/converter) or "weak" (name suffix).
+    strength: str
+    chain: List[str]
+
+
+def resolve_term(
+    term: Term, program: Program, stack: FrozenSet[str] = frozenset()
+) -> Optional[ResolvedUnit]:
+    """Resolve a summary term to a concrete unit, if provable."""
+    if term is None:
+        return None
+    kind = term["k"]
+    if kind == "u":
+        return ResolvedUnit(
+            unit=term["u"],
+            strength=term["s"],
+            chain=list(term.get("why", [])),
+        )
+    if kind == "c":
+        return _resolve_call_term(term, program, stack)
+    if kind in ("m", "d"):
+        left = resolve_term(term["a"], program, stack)
+        right = resolve_term(term["b"], program, stack)
+        if left is None or right is None:
+            return None
+        return _compose(kind, left, right)
+    return None
+
+
+def _resolve_call_term(
+    term: Term, program: Program, stack: FrozenSet[str]
+) -> Optional[ResolvedUnit]:
+    assert term is not None
+    callee = term["f"]
+    converter = UNIT_CONVERTERS.get(callee)
+    if converter is not None:
+        if converter[1] is None:
+            return None
+        return ResolvedUnit(
+            unit=converter[1],
+            strength="strong",
+            chain=list(term.get("why", []))
+            + [f"`{callee}` returns {converter[1]} (converter)"],
+        )
+    resolved = program.resolve_qualname(callee)
+    if resolved is None:
+        return None
+    _, func = resolved
+    if func.qualname in stack:
+        return None
+    why = list(term.get("why", []))
+    if func.return_unit is not None:
+        return ResolvedUnit(
+            unit=func.return_unit,
+            strength="strong",
+            chain=why
+            + [
+                f"`{func.qualname}` is declared to return "
+                f"{func.return_unit}"
+            ],
+        )
+    inner = stack | {func.qualname}
+    resolved_returns: List[ResolvedUnit] = []
+    for return_term in func.return_terms:
+        result = resolve_term(return_term, program, inner)
+        if result is None:
+            return None
+        if result.unit == DIMENSIONLESS:
+            continue
+        resolved_returns.append(result)
+    units = {r.unit for r in resolved_returns}
+    if len(units) != 1:
+        return None
+    best = next(
+        (r for r in resolved_returns if r.strength == "strong"),
+        resolved_returns[0],
+    )
+    return ResolvedUnit(
+        unit=best.unit,
+        strength=best.strength,
+        chain=why
+        + [f"`{func.qualname}` returns {best.unit}"]
+        + best.chain[:2],
+    )
+
+
+def _compose(
+    kind: str, left: ResolvedUnit, right: ResolvedUnit
+) -> Optional[ResolvedUnit]:
+    strength = (
+        "strong"
+        if left.strength == "strong" and right.strength == "strong"
+        else "weak"
+    )
+    chain = left.chain[:2] + right.chain[:2]
+
+    def made(unit: str) -> ResolvedUnit:
+        return ResolvedUnit(unit=unit, strength=strength, chain=chain)
+
+    if kind == "m":
+        if left.unit == DIMENSIONLESS:
+            return made(right.unit)
+        if right.unit == DIMENSIONLESS:
+            return made(left.unit)
+        if {left.unit, right.unit} == {"W", "s"}:
+            return made("J")
+        return None
+    if right.unit == DIMENSIONLESS:
+        return made(left.unit)
+    if left.unit == right.unit:
+        return made(DIMENSIONLESS)
+    if (left.unit, right.unit) == ("J", "s"):
+        return made("W")
+    if (left.unit, right.unit) == ("J", "W"):
+        return made("s")
+    return None
+
+
+def _render_chain(chain: List[str]) -> str:
+    steps = chain[:_MAX_CHAIN]
+    return " -> ".join(steps) if steps else "(direct)"
+
+
+def _in_exempt_module(module: str) -> bool:
+    return module in UNITFLOW_EXEMPT_MODULES
+
+
+class UnitFlow(ProgramRule):
+    """RL008: units must agree across assignments, ops and calls."""
+
+    rule_id = "RL008"
+    title = "interprocedural units inference"
+
+    def check_program(self, program: Program) -> Iterator[Finding]:
+        for path in sorted(program.summaries):
+            summary = program.summaries[path]
+            if summary.is_test or _in_exempt_module(summary.module):
+                continue
+            for func in summary.functions:
+                yield from self._check_calls(program, summary, func)
+                yield from self._check_adds(program, summary, func)
+                yield from self._check_return(program, summary, func)
+
+    # -- call-site argument flows ---------------------------------------------
+
+    def _check_calls(
+        self,
+        program: Program,
+        summary: FileSummary,
+        func: FunctionInfo,
+    ) -> Iterator[Finding]:
+        for call in func.calls:
+            signature = self._callee_signature(program, call)
+            if signature is None:
+                continue
+            callee_name, params, offset = signature
+            for arg in call.args:
+                param = _param_for_slot(params, arg.slot, offset)
+                if param is None or param.unit in (None, DIMENSIONLESS):
+                    continue
+                resolved = resolve_term(arg.term, program)
+                if resolved is None:
+                    continue
+                if resolved.unit in (DIMENSIONLESS, param.unit):
+                    continue
+                param_src = (
+                    "Annotated"
+                    if param.source == "annotation"
+                    else "converter input"
+                    if param.source == "converter"
+                    else f"`_{param.unit.lower()}`-style suffix"
+                )
+                yield self.finding_at(
+                    summary.path,
+                    arg.line,
+                    arg.col,
+                    f"unit mismatch: argument flows {resolved.unit} "
+                    f"into parameter `{param.name}` of "
+                    f"`{callee_name}`, declared {param.unit} "
+                    f"({param_src}); inferred via: "
+                    f"{_render_chain(resolved.chain)}",
+                )
+
+    def _callee_signature(
+        self, program: Program, call: CallSite
+    ) -> Optional[Tuple[str, List[ParamInfo], int]]:
+        """(name, params, positional offset) of a call's target."""
+        converter = UNIT_CONVERTERS.get(call.callee)
+        if converter is not None:
+            params = [
+                ParamInfo(name=f"arg{i}", unit=unit, source="converter")
+                for i, unit in enumerate(converter[0])
+            ]
+            return call.callee, params, 0
+        resolved = program.resolve_callee(call)
+        if resolved is None:
+            return None
+        callee_summary, callee = resolved
+        if _in_exempt_module(callee_summary.module):
+            return None
+        offset = 1 if callee.is_method and call.instance_call else 0
+        return callee.qualname, callee.params, offset
+
+    # -- additive / comparison obligations ------------------------------------
+
+    def _check_adds(
+        self,
+        program: Program,
+        summary: FileSummary,
+        func: FunctionInfo,
+    ) -> Iterator[Finding]:
+        for obligation in func.adds:
+            left = resolve_term(obligation.left, program)
+            right = resolve_term(obligation.right, program)
+            if left is None or right is None:
+                continue
+            if DIMENSIONLESS in (left.unit, right.unit):
+                continue
+            if left.unit == right.unit:
+                continue
+            verb = (
+                "comparing"
+                if obligation.op == "compare"
+                else "combining"
+            )
+            yield self.finding_at(
+                summary.path,
+                obligation.line,
+                obligation.col,
+                f"unit mismatch: {verb} {left.unit} with "
+                f"{right.unit} (`{obligation.op}`); left: "
+                f"{_render_chain(left.chain)}; right: "
+                f"{_render_chain(right.chain)}",
+            )
+
+    # -- declared vs inferred return units ------------------------------------
+
+    def _check_return(
+        self,
+        program: Program,
+        summary: FileSummary,
+        func: FunctionInfo,
+    ) -> Iterator[Finding]:
+        if func.return_unit is None:
+            return
+        for return_term in func.return_terms:
+            resolved = resolve_term(return_term, program)
+            if resolved is None or resolved.unit in (
+                DIMENSIONLESS,
+                func.return_unit,
+            ):
+                continue
+            yield self.finding_at(
+                summary.path,
+                func.line,
+                func.col,
+                f"`{func.qualname}` is declared to return "
+                f"{func.return_unit} but a return expression carries "
+                f"{resolved.unit}; inferred via: "
+                f"{_render_chain(resolved.chain)}",
+            )
+            return
+
+
+def _param_for_slot(
+    params: List[ParamInfo], slot: object, offset: int
+) -> Optional[ParamInfo]:
+    if isinstance(slot, int):
+        index = slot + offset
+        if 0 <= index < len(params):
+            return params[index]
+        return None
+    for param in params:
+        if param.name == slot:
+            return param
+    return None
