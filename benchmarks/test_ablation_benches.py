@@ -7,12 +7,11 @@ and records the energy/safety consequences in ``extra_info``.
 import pytest
 
 from repro.core.classifier import L3RateClassifier
-from repro.core.daemon import OnlineMonitoringDaemon
+from repro.policies.daemon import OnlineMonitoringDaemon
 from repro.core.placement import PlacementEngine
 from repro.platform.chip import Chip
 from repro.platform.specs import xgene2_spec, xgene3_spec
-from repro.sim.controllers import BaselineController
-from repro.sim.governor import OndemandGovernor
+from repro.policies.governors import BaselinePolicy
 from repro.sim.system import ServerSystem
 from repro.units import ghz
 from repro.workloads.generator import ServerWorkloadGenerator
@@ -266,12 +265,12 @@ def test_ablation_governor_scope(benchmark, workload3):
         chip_scope = replay(
             spec,
             workload3,
-            BaselineController(OndemandGovernor(scope="chip")),
+            BaselinePolicy(scope="chip"),
         )
         pmd_scope = replay(
             spec,
             workload3,
-            BaselineController(OndemandGovernor(scope="pmd")),
+            BaselinePolicy(scope="pmd"),
         )
         return chip_scope, pmd_scope
 

@@ -1,7 +1,7 @@
 """Benches for the extension studies: chip variation, phases, capping."""
 
-from repro.core.powercap import CappedDaemonController, PowerCapController
-from repro.core.daemon import OnlineMonitoringDaemon
+from repro.policies.daemon import OnlineMonitoringDaemon
+from repro.policies.powercap import CappedDaemonPolicy, PowerCapPolicy
 from repro.experiments import variation_study
 from repro.platform.chip import Chip
 from repro.platform.specs import xgene2_spec, xgene3_spec
@@ -74,10 +74,10 @@ def test_power_capping(benchmark):
 
     def run():
         capped = ServerSystem(
-            Chip(spec), workload, PowerCapController(spec, cap_w)
+            Chip(spec), workload, PowerCapPolicy(spec, cap_w)
         ).run()
         smart = ServerSystem(
-            Chip(spec), workload, CappedDaemonController(spec, cap_w)
+            Chip(spec), workload, CappedDaemonPolicy(spec, cap_w)
         ).run()
         return capped, smart
 

@@ -13,15 +13,38 @@ evaluation pipeline:
 
 Both assert the replay's invariants so a future regression cannot trade
 correctness for speed silently.
+
+A third bench pins the control-plane refactor's overhead claim: the
+engine's single contact surface with a policy (fresh
+:class:`~repro.policies.surfaces.Observation` per event, ``decide``
+indirection, the ``on_applied`` hook check) must cost <5% of the
+daemon-on replay versus the leanest possible calling convention — the
+shape of the pre-refactor ``Controller`` callbacks, whose committed
+pre-refactor median is the ``test_sim_daemon_on_xgene3`` baseline row
+policed by ``compare_benchmarks.py``.
 """
 
+import time
+
 from repro.core.configurations import run_configuration
+from repro.platform.chip import Chip
 from repro.platform.specs import get_spec
+from repro.policies.actuation import apply_action
+from repro.policies.registry import resolve_policy
+from repro.policies.surfaces import Observation, PolicyEvent
+from repro.sim.system import ServerSystem
 from repro.workloads.generator import ServerWorkloadGenerator
 
 from conftest import EVALUATION_DURATION_S, EVALUATION_SEED, run_once
 
 import pytest
+
+#: Max allowed slowdown of the dispatched engine vs the direct-call
+#: harness (1.05 == 5%, the refactor's acceptance bound).
+MAX_DISPATCH_OVERHEAD = 1.05
+
+#: Interleaved timing rounds; the minimum of each side is compared.
+DISPATCH_ROUNDS = 5
 
 
 @pytest.fixture(scope="module")
@@ -65,3 +88,75 @@ def test_sim_ondemand_baseline_xgene3(benchmark, workload3, policy3):
     assert result.energy_j > 0
     benchmark.extra_info["processes"] = len(result.processes)
     benchmark.extra_info["makespan_s"] = result.makespan_s
+
+
+def _direct_call_harness(system):
+    """The leanest policy calling convention the engine could have.
+
+    Models the pre-refactor ``Controller`` callback shape: no per-event
+    observation allocation (one reused live view, fields mutated in
+    place — valid because :class:`Observation` is stateless) and no
+    ``on_applied`` hook check. The delta against the real
+    ``_dispatch_policy`` is therefore exactly the dispatch glue the
+    control-plane refactor added.
+    """
+    obs = Observation(system, PolicyEvent.START)
+
+    def dispatch(event, process=None):
+        system._controller_calls += 1
+        obs.event = event
+        obs.process = process
+        action = system.policy.decide(obs)
+        if action is not None:
+            apply_action(system, action)
+        return action
+
+    return dispatch
+
+
+def _daemon_replay(spec, workload, table, direct=False):
+    policy = resolve_policy("daemon", spec, table=table)
+    system = ServerSystem(Chip(spec), workload, policy=policy)
+    if direct:
+        system._dispatch_policy = _direct_call_harness(system)
+    return system.run()
+
+
+def test_policy_dispatch_overhead(workload3, policy3):
+    """Observation/decide/actuate glue costs <5% of the daemon-on replay.
+
+    Deliberately a plain timing test (no ``benchmark`` fixture) so it
+    never contributes rows to ``bench_results.json`` or shifts the
+    committed regression baseline.
+    """
+    spec = get_spec("xgene3")
+
+    dispatched = _daemon_replay(spec, workload3, policy3)
+    direct = _daemon_replay(spec, workload3, policy3, direct=True)
+    # The harness is a pure calling-convention change: both replays
+    # must make bit-identical decisions.
+    assert direct.energy_j == dispatched.energy_j
+    assert direct.makespan_s == dispatched.makespan_s
+    assert direct.voltage_transitions == dispatched.voltage_transitions
+
+    dispatched_s = float("inf")
+    direct_s = float("inf")
+    # Interleave the two variants so clock drift hits both equally.
+    for _ in range(DISPATCH_ROUNDS):
+        started = time.perf_counter()
+        _daemon_replay(spec, workload3, policy3, direct=True)
+        direct_s = min(direct_s, time.perf_counter() - started)
+        started = time.perf_counter()
+        _daemon_replay(spec, workload3, policy3)
+        dispatched_s = min(dispatched_s, time.perf_counter() - started)
+
+    overhead = dispatched_s / direct_s
+    print(
+        f"policy dispatch overhead: dispatched {dispatched_s:.4f}s vs "
+        f"direct {direct_s:.4f}s ({(overhead - 1.0) * 100.0:+.2f}%)"
+    )
+    assert overhead < MAX_DISPATCH_OVERHEAD, (
+        f"policy dispatch costs {(overhead - 1.0) * 100.0:.1f}% on the "
+        f"daemon-on replay (bound: "
+        f"{(MAX_DISPATCH_OVERHEAD - 1.0) * 100.0:.0f}%)"
+    )

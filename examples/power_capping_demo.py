@@ -14,8 +14,8 @@ Run:  python examples/power_capping_demo.py [cap_watts]
 import sys
 
 from repro import Chip, ServerSystem, ServerWorkloadGenerator, get_spec
-from repro.core.powercap import CappedDaemonController, PowerCapController
-from repro.sim.controllers import BaselineController
+from repro.policies.governors import BaselinePolicy
+from repro.policies.powercap import CappedDaemonPolicy, PowerCapPolicy
 
 
 def main() -> None:
@@ -31,13 +31,13 @@ def main() -> None:
 
     runs = {}
     runs["uncapped baseline"] = ServerSystem(
-        Chip(spec), workload, BaselineController()
+        Chip(spec), workload, BaselinePolicy()
     ).run()
-    capper = PowerCapController(spec, cap_w=cap_w)
+    capper = PowerCapPolicy(spec, cap_w=cap_w)
     runs["capped baseline"] = ServerSystem(
         Chip(spec), workload, capper
     ).run()
-    smart = CappedDaemonController(spec, cap_w=cap_w)
+    smart = CappedDaemonPolicy(spec, cap_w=cap_w)
     runs["capped daemon"] = ServerSystem(Chip(spec), workload, smart).run()
 
     print(f"{'configuration':<20} {'time(s)':>8} {'avg W':>7} "

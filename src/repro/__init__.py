@@ -24,12 +24,20 @@ from .allocation import Allocation, cores_for, utilized_pmd_count
 from .core import (
     L3RateClassifier,
     MonitoringDaemon,
-    OnlineMonitoringDaemon,
     PlacementEngine,
-    SafeVminController,
     VminPolicyTable,
     run_configuration,
     run_evaluation,
+)
+from .policies import (
+    Action,
+    BaselinePolicy,
+    Observation,
+    OnlineMonitoringDaemon,
+    Policy,
+    PolicyStack,
+    SafeVminPolicy,
+    resolve_policy,
 )
 from .errors import (
     ConfigurationError,
@@ -42,7 +50,7 @@ from .errors import (
 from .perf import execution_state, job_duration_s
 from .platform import Chip, ChipSpec, get_spec, xgene2_spec, xgene3_spec
 from .power import EnergyMeter, PowerModel, ed2p, edp
-from .sim import BaselineController, ServerSystem, SystemResult
+from .sim import ServerSystem, SystemResult
 from .vmin import FaultModel, VminCampaign, VminModel
 from .workloads import (
     BenchmarkProfile,
@@ -56,8 +64,9 @@ from .workloads import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "Action",
     "Allocation",
-    "BaselineController",
+    "BaselinePolicy",
     "BenchmarkProfile",
     "Chip",
     "ChipSpec",
@@ -66,12 +75,15 @@ __all__ = [
     "FaultModel",
     "L3RateClassifier",
     "MonitoringDaemon",
+    "Observation",
     "OnlineMonitoringDaemon",
     "PlacementEngine",
     "PlacementError",
+    "Policy",
+    "PolicyStack",
     "PowerModel",
     "ReproError",
-    "SafeVminController",
+    "SafeVminPolicy",
     "ServerSystem",
     "ServerWorkloadGenerator",
     "SilentDataCorruption",
@@ -91,6 +103,7 @@ __all__ = [
     "get_benchmark",
     "get_spec",
     "job_duration_s",
+    "resolve_policy",
     "run_configuration",
     "run_evaluation",
     "utilized_pmd_count",

@@ -10,9 +10,12 @@ Usage::
     repro run-all --jobs 4 --cache-dir ~/.cache/repro-vmin
     repro run-all --summary-json manifest.json
     repro run-all --platform xgene3-xl
+    repro run-all --policy ed2p --platform xgene3-xl
     repro telemetry check manifest.json --min-hit-rate 0.5
     repro platform list
     repro platform validate
+    repro policy list
+    repro policy compare ed2p daemon --platform xgene2
 
 Each experiment prints the same rows/series the paper reports.
 ``run-all`` fans the whole registry out over a process pool with
@@ -26,7 +29,10 @@ manifests (see :mod:`repro.telemetry.cli`). The ``repro platform``
 family (``list``/``show``/``validate``) inspects the declarative
 platform registry (see :mod:`repro.platform.cli`); ``--platform``
 accepts any registered key, including platforms defined purely as spec
-files.
+files. The ``repro policy`` family (``list``/``show``/``compare``)
+inspects the policy registry (see :mod:`repro.policies.cli`);
+``--policy`` threads a registry key through every policy-aware
+experiment (the default, ``None``, reproduces the paper byte-for-byte).
 """
 
 from __future__ import annotations
@@ -49,6 +55,7 @@ def _make_command(name: str) -> Callable[[argparse.Namespace], None]:
                 duration_s=args.duration,
                 seed=args.seed,
                 cache_dir=args.cache_dir,
+                policy=args.policy,
             )
         )
 
@@ -77,6 +84,14 @@ def _platform_choices() -> List[str]:
     return sorted(set(platform_keys()) | set(PLATFORMS))
 
 
+def _policy_choices() -> List[str]:
+    """Every resolvable policy: registry keys plus the paper aliases."""
+    from .core.configurations import CONFIG_POLICY_KEYS
+    from .policies.registry import policy_keys
+
+    return sorted(set(policy_keys()) | set(CONFIG_POLICY_KEYS))
+
+
 def _positive_int(text: str) -> int:
     value = int(text)
     if value < 1:
@@ -101,6 +116,13 @@ def build_parser() -> argparse.ArgumentParser:
         choices=_platform_choices(),
         default=None,
         help="platform override (default: the paper's platform)",
+    )
+    parser.add_argument(
+        "--policy",
+        choices=_policy_choices(),
+        default=None,
+        help="policy registry key threaded through the policy-aware "
+        "experiments (default: the paper's own configurations)",
     )
     parser.add_argument(
         "--duration",
@@ -146,6 +168,7 @@ def _run_all(args: argparse.Namespace, names: List[str]) -> int:
         seed=args.seed,
         cache_dir=args.cache_dir,
         collect_telemetry=summary_json is not None,
+        policy=args.policy,
     )
     sys.stdout.write(summary.merged_output())
     sys.stdout.flush()
@@ -185,6 +208,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .platform.cli import platform_main
 
         return platform_main(argv[1:])
+    if argv and argv[0] == "policy":
+        # Control-plane registry tooling, same pattern.
+        from .policies.cli import policy_main
+
+        return policy_main(argv[1:])
     args = build_parser().parse_args(argv)
     try:
         if args.experiment == "list":

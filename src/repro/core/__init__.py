@@ -1,7 +1,10 @@
-"""The paper's primary contribution: the online monitoring daemon.
+"""The paper's core machinery: monitoring, placement and the Vmin policy.
 
-Classification (monitoring), placement, V/F policy and the four
-evaluation configurations (Baseline / Safe-Vmin / Placement / Optimal).
+Classification (monitoring), placement planning, the safe-Vmin policy
+table and the four evaluation configurations (Baseline / Safe-Vmin /
+Placement / Optimal). The control policies themselves — the daemon, the
+Safe-Vmin trim, the governors and power cappers — live in
+:mod:`repro.policies`.
 """
 
 from .classifier import (
@@ -11,16 +14,12 @@ from .classifier import (
 )
 from .configurations import (
     CONFIG_NAMES,
+    CONFIG_POLICY_KEYS,
     ConfigurationRow,
     EvaluationResult,
-    make_controller,
+    make_policy,
     run_configuration,
     run_evaluation,
-)
-from .daemon import (
-    DEFAULT_MONITOR_PERIOD_S,
-    OnlineMonitoringDaemon,
-    SafeVminController,
 )
 from .monitoring import (
     MIN_WINDOW_CYCLES,
@@ -29,7 +28,6 @@ from .monitoring import (
     PerfLikeReader,
     kernel_module_reader,
 )
-from .powercap import CappedDaemonController, PowerCapController
 from .placement import (
     PlacementEngine,
     PlacementPlan,
@@ -39,28 +37,24 @@ from .policy import DEFAULT_GUARD_MV, PolicyEntry, VminPolicyTable
 
 __all__ = [
     "CONFIG_NAMES",
+    "CONFIG_POLICY_KEYS",
     "ClassChange",
-    "CappedDaemonController",
     "ClassificationSample",
     "ConfigurationRow",
     "DEFAULT_GUARD_MV",
-    "DEFAULT_MONITOR_PERIOD_S",
     "DEFAULT_THRESHOLD",
     "EvaluationResult",
     "L3RateClassifier",
     "MIN_WINDOW_CYCLES",
     "MonitoringDaemon",
-    "OnlineMonitoringDaemon",
     "PerfLikeReader",
-    "PowerCapController",
     "PlacementEngine",
     "PlacementPlan",
     "PolicyEntry",
-    "SafeVminController",
     "VminPolicyTable",
     "default_memory_frequency_hz",
     "kernel_module_reader",
-    "make_controller",
+    "make_policy",
     "run_configuration",
     "run_evaluation",
 ]

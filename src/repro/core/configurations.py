@@ -8,6 +8,11 @@
   rail pinned at nominal (placement value only);
 * **optimal** — the full daemon: placement, clocks and voltage.
 
+The names are aliases into the policy registry
+(:mod:`repro.policies.registry`); any registry key is accepted wherever
+a configuration name is, so ``run_configuration(..., "ed2p")`` works the
+same way the four paper configurations do.
+
 :func:`run_evaluation` replays one generated workload under all four and
 summarises them the way the paper's Tables III and IV do.
 """
@@ -20,11 +25,11 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..errors import ConfigurationError
 from ..platform.chip import Chip
 from ..platform.specs import ChipSpec, get_spec
+from ..policies.registry import resolve_policy
+from ..policies.surfaces import Policy
 from ..power.energy import penalty_percent, savings_percent
-from ..sim.controllers import BaselineController
-from ..sim.system import Controller, ServerSystem, SystemResult
+from ..sim.system import ServerSystem, SystemResult
 from ..workloads.generator import ServerWorkloadGenerator, Workload
-from .daemon import OnlineMonitoringDaemon, SafeVminController
 from .policy import VminPolicyTable
 
 #: Configuration names in the paper's table order.
@@ -32,28 +37,28 @@ CONFIG_NAMES: Tuple[str, ...] = (
     "baseline", "safe_vmin", "placement", "optimal"
 )
 
+#: Paper configuration name -> policy registry key.
+CONFIG_POLICY_KEYS: Dict[str, str] = {
+    "baseline": "baseline-ondemand",
+    "safe_vmin": "safe-vmin",
+    "placement": "daemon-placement",
+    "optimal": "daemon",
+}
 
-def make_controller(
+
+def make_policy(
     spec: ChipSpec,
     config: str,
     policy: Optional[VminPolicyTable] = None,
-) -> Controller:
-    """Build the controller implementing one named configuration."""
-    if config == "baseline":
-        return BaselineController()
-    if config == "safe_vmin":
-        return SafeVminController(spec, policy=policy)
-    if config == "placement":
-        return OnlineMonitoringDaemon(
-            spec, control_voltage=False, policy=policy
-        )
-    if config == "optimal":
-        return OnlineMonitoringDaemon(
-            spec, control_voltage=True, policy=policy
-        )
-    raise ConfigurationError(
-        f"unknown configuration {config!r}; known: {CONFIG_NAMES}"
-    )
+) -> Policy:
+    """Resolve the policy implementing one named configuration.
+
+    ``config`` is a paper configuration name (``baseline`` /
+    ``safe_vmin`` / ``placement`` / ``optimal``) or any policy registry
+    key. ``policy`` optionally shares a prebuilt safe-Vmin table.
+    """
+    key = CONFIG_POLICY_KEYS.get(config, config)
+    return resolve_policy(key, spec, table=policy)
 
 
 def run_configuration(
@@ -68,11 +73,10 @@ def run_configuration(
     """Replay one workload under one configuration on a fresh chip."""
     spec = get_spec(platform)
     chip = Chip(spec, silicon_seed=silicon_seed)
-    controller = make_controller(spec, config, policy=policy)
     system = ServerSystem(
         chip,
         workload,
-        controller=controller,
+        policy=make_policy(spec, config, policy=policy),
         trace_period_s=trace_period_s,
         fault_policy=fault_policy,
     )
@@ -123,8 +127,10 @@ class EvaluationResult:
         )
 
     def rows(self) -> List[ConfigurationRow]:
-        """All rows, in the paper's column order."""
-        return [self.row(c) for c in CONFIG_NAMES if c in self.results]
+        """All rows: the paper's column order, then extra policy keys."""
+        ordered = [c for c in CONFIG_NAMES if c in self.results]
+        ordered += [c for c in self.results if c not in CONFIG_NAMES]
+        return [self.row(c) for c in ordered]
 
 
 def run_evaluation(

@@ -12,14 +12,16 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from .. import telemetry
 from ..errors import ConfigurationError
 from ..sim.process import SimProcess, WorkloadClass
 from ..telemetry import names as metric_names
-from ..sim.system import ServerSystem
 from .classifier import ClassificationSample, L3RateClassifier
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (import cycle guard)
+    from ..policies.surfaces import Observation
 
 #: Minimum cycle window between two classification reads (Section VI.A:
 #: the daemon counts L3C accesses during one million cycles).
@@ -91,8 +93,12 @@ class MonitoringDaemon:
         """Drop state for a finished process."""
         self._snapshots.pop(process.pid, None)
 
-    def sample(self, system: ServerSystem) -> List[ClassChange]:
+    def sample(self, system: "Observation") -> List[ClassChange]:
         """One monitor pass: classify every running process.
+
+        ``system`` is anything exposing ``running_processes()`` — a live
+        :class:`~repro.policies.surfaces.Observation` in the policy
+        dispatch path, or the server system itself in tests/tools.
 
         A process is (re)classified only once its cycle counter advanced
         by at least the window since the previous read — the hardware
@@ -130,6 +136,6 @@ class MonitoringDaemon:
                     continue
         return changes
 
-    def utilized_pmds(self, system: ServerSystem) -> int:
+    def utilized_pmds(self, system: "Observation") -> int:
         """Number of PMDs with at least one running thread."""
         return len(system.chip.utilized_pmds)

@@ -27,7 +27,10 @@ from typing import Dict, Optional, Sequence, Tuple
 
 from ..allocation import Allocation, pick_free_cores
 from ..errors import PlacementError
+from ..platform.chip import ChipState
 from ..platform.specs import ChipSpec
+from ..policies.actuation import apply_action
+from ..policies.surfaces import Action
 from ..sim.process import SimProcess, WorkloadClass
 from ..sim.system import ServerSystem
 from .policy import VminPolicyTable
@@ -198,6 +201,13 @@ class PlacementEngine:
 
     # -- application (fail-safe ordering, Fig. 13) ---------------------------------
 
+    def _transitional_mv(self, state: ChipState, plan: PlacementPlan) -> int:
+        required = self.policy.safe_voltage_mv(
+            max(len(state.active_pmds), plan.utilized_pmds),
+            max(state.max_active_frequency(), plan.max_active_freq_hz),
+        )
+        return max(required, plan.voltage_mv or 0)
+
     def transitional_voltage_mv(
         self, system: ServerSystem, plan: PlacementPlan
     ) -> int:
@@ -208,50 +218,54 @@ class PlacementEngine:
         class, so evaluating at (max PMDs, max clock) bounds every
         intermediate state of the transition.
         """
-        state = system.chip.state()
-        current_pmds = len(state.active_pmds)
-        current_freq = state.max_active_frequency()
-        required = self.policy.safe_voltage_mv(
-            max(current_pmds, plan.utilized_pmds),
-            max(current_freq, plan.max_active_freq_hz),
+        return self._transitional_mv(system.chip.state(), plan)
+
+    def action_for(self, plan: PlacementPlan, state: ChipState) -> Action:
+        """Express a plan as one fail-safe-ordered control action.
+
+        ``state`` is the chip state the transition starts from (used for
+        the transitional raise level). The action carries the *full*
+        assignment map; the actuation layer diffs it against the live
+        running set, so planning needs no knowledge of which threads
+        actually move.
+        """
+        raise_mv: Optional[int] = None
+        if self.control_voltage and plan.voltage_mv is not None:
+            raise_mv = self._transitional_mv(state, plan)
+        return Action(
+            raise_voltage_mv=raise_mv,
+            migrations=dict(plan.assignments),
+            pmd_freqs_hz=dict(plan.pmd_freqs_hz),
+            voltage_mv=plan.voltage_mv if self.control_voltage else None,
         )
-        return max(required, plan.voltage_mv or 0)
 
     def apply(self, system: ServerSystem, plan: PlacementPlan) -> None:
         """Apply a plan with the raise-voltage-first fail-safe protocol."""
-        if self.control_voltage and plan.voltage_mv is not None:
-            safe = self.transitional_voltage_mv(system, plan)
-            if safe > system.chip.voltage_mv:
-                system.set_voltage(safe)
-        moves: Dict[SimProcess, Tuple[int, ...]] = {}
-        by_pid = {p.pid: p for p in system.running_processes()}
-        for pid, cores in plan.assignments.items():
-            process = by_pid.get(pid)
-            if process is not None and tuple(process.cores) != cores:
-                moves[process] = cores
-        if moves:
-            system.migrate_many(moves)
-        for pmd, freq in plan.pmd_freqs_hz.items():
-            system.set_pmd_frequency(pmd, freq)
-        if self.control_voltage and plan.voltage_mv is not None:
-            system.set_voltage(plan.voltage_mv)
+        apply_action(system, self.action_for(plan, system.chip.state()))
 
-    def raise_for_arrival(self, system: ServerSystem, nthreads: int) -> None:
-        """Fail-safe step before a new process is invoked (Fig. 13).
+    def arrival_raise_mv(
+        self, state: ChipState, nthreads: int
+    ) -> Optional[int]:
+        """Fail-safe rail level before a new process is invoked (Fig. 13).
 
         The new process will add at most ``nthreads`` cores' worth of
-        PMDs; the rail is raised to the worst case *before* the threads
-        start, and settles after placement runs.
+        PMDs; the returned level bounds the worst configuration the
+        arrival could create (``None`` when the engine does not control
+        the rail). The raise actuation only ever moves the rail up, so
+        callers may request the level unconditionally.
         """
         if not self.control_voltage:
-            return
-        state = system.chip.state()
+            return None
         worst_pmds = min(
             self.spec.n_pmds, len(state.active_pmds) + nthreads
         )
-        required = self.policy.safe_voltage_mv(
+        return self.policy.safe_voltage_mv(
             worst_pmds,
             max(state.max_active_frequency(), self.cpu_freq_hz),
         )
-        if required > system.chip.voltage_mv:
-            system.set_voltage(required)
+
+    def raise_for_arrival(self, system: ServerSystem, nthreads: int) -> None:
+        """Actuate :meth:`arrival_raise_mv` against the live system."""
+        required = self.arrival_raise_mv(system.chip.state(), nthreads)
+        if required is not None:
+            apply_action(system, Action(raise_voltage_mv=required))

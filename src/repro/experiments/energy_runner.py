@@ -195,9 +195,23 @@ class EnergyRunner:
         batched characterization lookup and all power evaluations run as
         one :func:`~repro.kernels.power.chip_power_grid` call; every
         measurement is bit-identical to the scalar per-point path.
+
+        ``voltage`` is ``"safe"``, ``"nominal"``, or any policy registry
+        key — the analytic sweep has no event loop to run a live policy
+        in, so a key resolves to the policy's declared idle-machine rail
+        mode (:func:`~repro.policies.registry.rail_mode`).
         """
         if voltage not in ("safe", "nominal"):
-            raise ConfigurationError(f"unknown voltage mode {voltage!r}")
+            from ..policies.registry import rail_mode
+
+            try:
+                voltage = rail_mode(voltage)
+            except ConfigurationError:
+                raise ConfigurationError(
+                    f"unknown voltage mode {voltage!r}: expected 'safe', "
+                    "'nominal' or a policy registry key with an "
+                    "idle-machine rail mode"
+                ) from None
         prepared = []
         for nthreads, allocation, freq_hz in configs:
             freq = self.spec.nearest_frequency(

@@ -130,9 +130,14 @@ def render(
     platform: str | None = None,
     duration_s: float = 600.0,
     seed: int = 0,
+    policy: str | None = None,
 ) -> str:
-    """Render the Fig. 11 energy sweep for one platform."""
-    return run(platform or "xgene2").format()
+    """Render the Fig. 11 energy sweep for one platform.
+
+    A ``policy`` key reruns the sweep at that policy's idle-machine
+    rail mode (default: the safe-Vmin sweep the paper reports).
+    """
+    return run(platform or "xgene2", voltage=policy or "safe").format()
 
 
 def main() -> None:

@@ -18,9 +18,10 @@ from dataclasses import dataclass, field
 from typing import List
 
 from ..analysis.tables import format_table
-from ..core.daemon import OnlineMonitoringDaemon
 from ..platform.chip import Chip
 from ..platform.specs import get_spec
+from ..policies.daemon import OnlineMonitoringDaemon
+from ..policies.surfaces import PolicyEvent
 from ..sim.system import ServerSystem
 from ..units import fmt_freq, fmt_mv
 from ..workloads.generator import JobSpec, Workload
@@ -57,72 +58,74 @@ class Fig13Result:
 
 
 class _TracingDaemon(OnlineMonitoringDaemon):
-    """The daemon with flow-step journaling."""
+    """The daemon with flow-step journaling.
+
+    ``decide`` snapshots the pre-actuation rail, and the post-actuation
+    :meth:`~repro.policies.surfaces.Policy.on_applied` hook (the live
+    observation now shows the applied state) journals the Fig. 13 step
+    the event corresponds to.
+    """
 
     def __init__(self, spec, sink: List[FlowStep]):
         super().__init__(spec)
         self._sink = sink
+        self._before_mv = 0
+        self._retunes_before = 0
 
-    def _log(self, step: str, detail: str) -> None:
-        self._sink.append(
-            FlowStep(time_s=self.system.now if self.system else 0.0,
-                     step=step, detail=detail)
-        )
+    def decide(self, obs):
+        self._before_mv = obs.voltage_mv
+        self._retunes_before = self.retunes
+        return super().decide(obs)
 
-    def place(self, process):
-        before = self.system.chip.voltage_mv
-        result = super().place(process)
-        after = self.system.chip.voltage_mv
-        if after > before:
-            self._log(
-                "raise_voltage",
-                f"pre-invocation {fmt_mv(before)} -> {fmt_mv(after)} "
-                f"for pid {process.pid}",
-            )
-        self._log("process_arrives", f"pid {process.pid} ({process.name})")
-        return result
-
-    def on_process_started(self, process):
-        before = self.system.chip.voltage_mv
-        super().on_process_started(process)
-        after = self.system.chip.voltage_mv
-        self._log(
-            "placement",
-            f"pid {process.pid} on cores {list(process.cores)}",
-        )
-        if after != before:
-            self._log(
-                "settle_voltage",
-                f"{fmt_mv(before)} -> {fmt_mv(after)}",
+    def on_applied(self, obs, action):
+        def log(step: str, detail: str) -> None:
+            self._sink.append(
+                FlowStep(time_s=obs.now, step=step, detail=detail)
             )
 
-    def on_process_finished(self, process):
-        before = self.system.chip.voltage_mv
-        super().on_process_finished(process)
-        after = self.system.chip.voltage_mv
-        self._log("process_exits", f"pid {process.pid} ({process.name})")
-        if after != before:
-            self._log(
-                "settle_voltage",
-                f"{fmt_mv(before)} -> {fmt_mv(after)}",
+        event = obs.event
+        before = self._before_mv
+        after = obs.voltage_mv
+        process = obs.process
+        if event is PolicyEvent.ADMIT:
+            if after > before:
+                log(
+                    "raise_voltage",
+                    f"pre-invocation {fmt_mv(before)} -> {fmt_mv(after)} "
+                    f"for pid {process.pid}",
+                )
+            log("process_arrives", f"pid {process.pid} ({process.name})")
+        elif event is PolicyEvent.STARTED:
+            log(
+                "placement",
+                f"pid {process.pid} on cores {list(process.cores)}",
             )
-
-    def on_tick(self):
-        retunes_before = self.retunes
-        super().on_tick()
-        if self.retunes > retunes_before:
-            state = self.system.chip.state()
-            freqs = sorted(
-                {
-                    fmt_freq(state.pmd_frequencies_hz[p])
-                    for p in state.active_pmds
-                }
-            )
-            self._log(
-                "class_change_retune",
-                f"active clocks now {freqs}, rail "
-                f"{fmt_mv(state.voltage_mv)}",
-            )
+            if after != before:
+                log(
+                    "settle_voltage",
+                    f"{fmt_mv(before)} -> {fmt_mv(after)}",
+                )
+        elif event is PolicyEvent.FINISHED:
+            log("process_exits", f"pid {process.pid} ({process.name})")
+            if after != before:
+                log(
+                    "settle_voltage",
+                    f"{fmt_mv(before)} -> {fmt_mv(after)}",
+                )
+        elif event is PolicyEvent.TICK:
+            if self.retunes > self._retunes_before:
+                state = obs.chip_state()
+                freqs = sorted(
+                    {
+                        fmt_freq(state.pmd_frequencies_hz[p])
+                        for p in state.active_pmds
+                    }
+                )
+                log(
+                    "class_change_retune",
+                    f"active clocks now {freqs}, rail "
+                    f"{fmt_mv(state.voltage_mv)}",
+                )
 
 
 def scripted_workload() -> Workload:
@@ -154,6 +157,7 @@ def render(
     platform: str | None = None,
     duration_s: float = 600.0,
     seed: int = 0,
+    policy: str | None = None,
 ) -> str:
     """Render the Fig. 13 decision flow with its violation count."""
     result = run(platform or "xgene2")

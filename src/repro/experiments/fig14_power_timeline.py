@@ -19,12 +19,14 @@ from ..workloads.generator import Workload
 
 @dataclass
 class Fig14Result:
-    """Power traces of the Baseline and Optimal runs."""
+    """Power traces of the Baseline and Optimal (or policy) runs."""
 
     platform: str
     workload: Workload
     baseline_trace: TimelineTrace
     optimal_trace: TimelineTrace
+    #: Configuration name / policy key of the non-baseline run.
+    config: str = "optimal"
 
     def average_power(self) -> Tuple[float, float]:
         """(baseline, optimal) average sampled power."""
@@ -58,7 +60,7 @@ class Fig14Result:
     def format(self) -> str:
         """Render per-minute power means."""
         return format_table(
-            ("minute", "baseline(W)", "optimal(W)"),
+            ("minute", "baseline(W)", f"{self.config}(W)"),
             [
                 (minute, round(b, 2), round(o, 2))
                 for minute, b, o in self.series()
@@ -72,20 +74,26 @@ def run(
     duration_s: float = 3600.0,
     seed: int = 0,
     workload: Optional[Workload] = None,
+    config: str = "optimal",
 ) -> Fig14Result:
-    """Replay one workload under Baseline and Optimal, keeping traces."""
+    """Replay one workload under Baseline and ``config``, keeping traces.
+
+    ``config`` is a paper configuration name or any policy registry key
+    (the paper's figure compares against Optimal).
+    """
     evaluation = run_evaluation(
         platform,
         duration_s=duration_s,
         seed=seed,
-        configs=("baseline", "optimal"),
+        configs=("baseline", config),
         workload=workload,
     )
     return Fig14Result(
         platform=evaluation.platform,
         workload=evaluation.workload,
         baseline_trace=evaluation.results["baseline"].trace,
-        optimal_trace=evaluation.results["optimal"].trace,
+        optimal_trace=evaluation.results[config].trace,
+        config=config,
     )
 
 
@@ -93,13 +101,24 @@ def render(
     platform: str | None = None,
     duration_s: float = 600.0,
     seed: int = 0,
+    policy: str | None = None,
 ) -> str:
-    """Render the Fig. 14 power timeline with average powers."""
-    result = run(platform or "xgene3", duration_s=duration_s, seed=seed)
+    """Render the Fig. 14 power timeline with average powers.
+
+    A ``policy`` key swaps the non-baseline trace to that policy
+    (default: the paper's Baseline-vs-Optimal comparison).
+    """
+    result = run(
+        platform or "xgene3",
+        duration_s=duration_s,
+        seed=seed,
+        config=policy or "optimal",
+    )
     base, opt = result.average_power()
     return (
         f"{result.format()}\n"
-        f"\naverage power: baseline {base:.2f} W, optimal {opt:.2f} W"
+        f"\naverage power: baseline {base:.2f} W, "
+        f"{result.config} {opt:.2f} W"
     )
 
 

@@ -107,9 +107,19 @@ def render(
     platform: str | None = None,
     duration_s: float = 600.0,
     seed: int = 0,
+    policy: str | None = None,
 ) -> str:
-    """Render the Fig. 15 load timeline."""
-    return run(platform or "xgene3", duration_s=duration_s, seed=seed).format()
+    """Render the Fig. 15 load timeline.
+
+    A ``policy`` key replays the run under that policy (default: the
+    Optimal run the paper traces).
+    """
+    return run(
+        platform or "xgene3",
+        duration_s=duration_s,
+        seed=seed,
+        config=policy or "optimal",
+    ).format()
 
 
 def main() -> None:

@@ -155,6 +155,7 @@ def render(
     platform: str | None = None,
     duration_s: float = 600.0,
     seed: int = 0,
+    policy: str | None = None,
 ) -> str:
     """Render the Fig. 3 campaign for one platform."""
     return run(platform or "xgene2").format()

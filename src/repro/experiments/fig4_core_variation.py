@@ -157,6 +157,7 @@ def render(
     platform: str | None = None,
     duration_s: float = 600.0,
     seed: int = 0,
+    policy: str | None = None,
 ) -> str:
     """Render Fig. 4 with its spread summary."""
     result = run(platform or "xgene2")

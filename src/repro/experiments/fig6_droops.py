@@ -127,6 +127,7 @@ def render(
     platform: str | None = None,
     duration_s: float = 600.0,
     seed: int = 0,
+    policy: str | None = None,
 ) -> str:
     """Render the Fig. 6 droop histogram for one platform."""
     return run(platform or "xgene3").format()

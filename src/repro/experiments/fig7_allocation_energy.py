@@ -83,6 +83,7 @@ def run(
     platform: str = "xgene2",
     nthreads: int = 4,
     benchmarks: Optional[Sequence[BenchmarkProfile]] = None,
+    voltage: str = "nominal",
 ) -> Fig7Result:
     """Measure every benchmark under both allocations."""
     spec = get_spec(platform)
@@ -99,7 +100,7 @@ def run(
                 (nthreads, Allocation.CLUSTERED, None),
                 (nthreads, Allocation.SPREADED, None),
             ],
-            voltage="nominal",
+            voltage=voltage,
         )
         result.rows.append(
             Fig7Row(
@@ -116,9 +117,14 @@ def render(
     platform: str | None = None,
     duration_s: float = 600.0,
     seed: int = 0,
+    policy: str | None = None,
 ) -> str:
-    """Render Fig. 7 with its allocation-energy span."""
-    result = run(platform or "xgene2")
+    """Render Fig. 7 with its allocation-energy span.
+
+    A ``policy`` key reruns the comparison at that policy's idle-machine
+    rail mode (default: the nominal-rail comparison the paper reports).
+    """
+    result = run(platform or "xgene2", voltage=policy or "nominal")
     low, high = result.span()
     return (
         f"{result.format()}\n"

@@ -143,6 +143,7 @@ def render(
     platform: str | None = None,
     duration_s: float = 600.0,
     seed: int = 0,
+    policy: str | None = None,
 ) -> str:
     """Render Fig. 9 with the memory-intensive set."""
     result = run(platform or "xgene3")

@@ -157,12 +157,18 @@ def _execute(
     seed: int,
     cache_dir: Optional[str],
     collect_telemetry: bool = False,
+    policy: Optional[str] = None,
 ) -> ExperimentOutcome:
     """Run one experiment in the current process (pool worker body)."""
     ensure_default_cache(cache_dir)
     entry = get_entry(name)
     module = importlib.import_module(entry.module_path)
     renderer = getattr(module, entry.render_name)
+    kwargs = {"platform": platform, "duration_s": duration_s, "seed": seed}
+    if policy is not None:
+        # Passed only when requested, so renderer doubles (tests, older
+        # entry points) keep working and the default path is untouched.
+        kwargs["policy"] = policy
     cache = get_default_cache()
     before = cache.stats.snapshot()
     metrics: Optional[Snapshot] = None
@@ -173,15 +179,11 @@ def _execute(
         # in the same worker process.
         with telemetry.session() as registry:
             with telemetry.span(metric_names.ORCH_EXPERIMENT_SPAN):
-                output = renderer(
-                    platform=platform, duration_s=duration_s, seed=seed
-                )
+                output = renderer(**kwargs)
             cache.publish_telemetry()
             metrics = registry.snapshot()
     else:
-        output = renderer(
-            platform=platform, duration_s=duration_s, seed=seed
-        )
+        output = renderer(**kwargs)
     elapsed = time.perf_counter() - started
     return ExperimentOutcome(
         name=entry.name,
@@ -199,9 +201,12 @@ def render_experiment(
     duration_s: float = 600.0,
     seed: int = 0,
     cache_dir: Optional[str] = None,
+    policy: Optional[str] = None,
 ) -> str:
     """Render one experiment's text through the orchestrator."""
-    return _execute(name, platform, duration_s, seed, cache_dir).output
+    return _execute(
+        name, platform, duration_s, seed, cache_dir, policy=policy
+    ).output
 
 
 def run_experiments(
@@ -212,6 +217,7 @@ def run_experiments(
     seed: int = 0,
     cache_dir: Optional[str] = None,
     collect_telemetry: bool = False,
+    policy: Optional[str] = None,
 ) -> RunSummary:
     """Run a batch of experiments, optionally across worker processes.
 
@@ -241,13 +247,13 @@ def run_experiments(
             with telemetry.span(metric_names.ORCH_RUN_SPAN):
                 outcomes = _run_schedule(
                     schedule, jobs, platform, duration_s, seed, cache_dir,
-                    registry_index, True,
+                    registry_index, True, policy,
                 )
             run_metrics = registry.snapshot()
     else:
         outcomes = _run_schedule(
             schedule, jobs, platform, duration_s, seed, cache_dir,
-            registry_index, False,
+            registry_index, False, policy,
         )
     return RunSummary(
         jobs=jobs,
@@ -266,6 +272,7 @@ def _run_schedule(
     cache_dir: Optional[str],
     registry_index: Dict[str, int],
     collect_telemetry: bool,
+    policy: Optional[str] = None,
 ) -> Dict[str, ExperimentOutcome]:
     """Dispatch ``schedule`` serially or over the pool."""
     if jobs == 1 or len(schedule) == 1:
@@ -276,13 +283,13 @@ def _run_schedule(
             )
             outcomes[entry.name] = _execute(
                 entry.name, platform, duration_s, seed, cache_dir,
-                collect_telemetry,
+                collect_telemetry, policy,
             )
             telemetry.inc(metric_names.ORCH_EXPERIMENTS_COMPLETED)
         return outcomes
     return _run_pool(
         schedule, jobs, platform, duration_s, seed, cache_dir,
-        registry_index, collect_telemetry,
+        registry_index, collect_telemetry, policy,
     )
 
 
@@ -295,6 +302,7 @@ def _run_pool(
     cache_dir: Optional[str],
     registry_index: Dict[str, int],
     collect_telemetry: bool = False,
+    policy: Optional[str] = None,
 ) -> Dict[str, ExperimentOutcome]:
     """Topological fan-out of ``schedule`` over a process pool."""
     chosen = {entry.name for entry in schedule}
@@ -317,7 +325,7 @@ def _run_pool(
                 del waiting[name]
                 future = pool.submit(
                     _execute, name, platform, duration_s, seed, cache_dir,
-                    collect_telemetry,
+                    collect_telemetry, policy,
                 )
                 running[future] = name
             # Scheduler-health samples; completion-order dependent, so

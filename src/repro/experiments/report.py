@@ -224,6 +224,7 @@ def render(
     platform: str | None = None,
     duration_s: float = 600.0,
     seed: int = 0,
+    policy: str | None = None,
 ) -> str:
     """Render the full reproduction report (both platforms)."""
     return generate(duration_s=duration_s, seed=seed)

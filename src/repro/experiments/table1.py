@@ -81,6 +81,7 @@ def render(
     platform: str | None = None,
     duration_s: float = 600.0,
     seed: int = 0,
+    policy: str | None = None,
 ) -> str:
     """Render Table I (platform-independent: always both chips)."""
     return run().format()

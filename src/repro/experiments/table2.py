@@ -124,6 +124,7 @@ def render(
     platform: str | None = None,
     duration_s: float = 600.0,
     seed: int = 0,
+    policy: str | None = None,
 ) -> str:
     """Render Table II for one platform."""
     return run(platform or "xgene3").format()

@@ -12,7 +12,11 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from ..analysis.tables import format_table
-from ..core.configurations import EvaluationResult, run_evaluation
+from ..core.configurations import (
+    CONFIG_NAMES,
+    EvaluationResult,
+    run_evaluation,
+)
 from ..workloads.generator import Workload
 
 #: Paper Table III / Table IV reference values, by platform registry key.
@@ -105,11 +109,23 @@ def run(
     duration_s: float = 3600.0,
     seed: int = 0,
     workload: Optional[Workload] = None,
+    policy: Optional[str] = None,
 ) -> TableResult:
-    """Regenerate Table III (xgene2) or Table IV (xgene3)."""
+    """Regenerate Table III (xgene2) or Table IV (xgene3).
+
+    A ``policy`` registry key appends that policy as an extra
+    comparison row under the paper's four configurations.
+    """
+    configs = CONFIG_NAMES
+    if policy is not None and policy not in CONFIG_NAMES:
+        configs = (*CONFIG_NAMES, policy)
     return TableResult(
         run_evaluation(
-            platform, duration_s=duration_s, seed=seed, workload=workload
+            platform,
+            duration_s=duration_s,
+            seed=seed,
+            workload=workload,
+            configs=configs,
         )
     )
 
@@ -132,18 +148,24 @@ def render_table3(
     platform: str | None = None,
     duration_s: float = 600.0,
     seed: int = 0,
+    policy: str | None = None,
 ) -> str:
     """Render Table III (the paper fixes it to X-Gene 2)."""
-    return run("xgene2", duration_s=duration_s, seed=seed).format()
+    return run(
+        "xgene2", duration_s=duration_s, seed=seed, policy=policy
+    ).format()
 
 
 def render_table4(
     platform: str | None = None,
     duration_s: float = 600.0,
     seed: int = 0,
+    policy: str | None = None,
 ) -> str:
     """Render Table IV (the paper fixes it to X-Gene 3)."""
-    return run("xgene3", duration_s=duration_s, seed=seed).format()
+    return run(
+        "xgene3", duration_s=duration_s, seed=seed, policy=policy
+    ).format()
 
 
 def main() -> None:

@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 from ..analysis.tables import format_table
-from ..core.daemon import OnlineMonitoringDaemon
+from ..policies.daemon import OnlineMonitoringDaemon
 from ..core.policy import VminPolicyTable
 from ..platform.chip import Chip
 from ..platform.specs import get_spec
@@ -139,6 +139,7 @@ def render(
     platform: str | None = None,
     duration_s: float = 600.0,
     seed: int = 0,
+    policy: str | None = None,
 ) -> str:
     """Render the thermal sweep."""
     return run(platform or "xgene3", duration_s=duration_s).format()

@@ -26,7 +26,7 @@ from ..core.policy import VminPolicyTable
 from ..platform.chip import Chip
 from ..platform.specs import ChipSpec, get_spec
 from ..sim.system import ServerSystem
-from ..core.daemon import OnlineMonitoringDaemon
+from ..policies.daemon import OnlineMonitoringDaemon
 from ..vmin.model import VminModel
 from ..workloads.generator import ServerWorkloadGenerator
 from ..workloads.suites import characterization_set
@@ -187,6 +187,7 @@ def render(
     platform: str | None = None,
     duration_s: float = 600.0,
     seed: int = 0,
+    policy: str | None = None,
 ) -> str:
     """Render the chip-to-chip variation study."""
     result = run(platform or "xgene2", duration_s=duration_s, seeds=range(4))

@@ -1,21 +1,20 @@
-"""DVFS-based power capping (paper Section I's power-management context).
+"""DVFS-based power-capping policies (Section I's power-management context).
 
 The paper motivates its work with the rise of power capping: "the ability
 to cap peak power consumption has recently gained strong interest ...
 power capping is realized through power-performance knobs such as DVFS,
 pipeline throttling or memory throttling" (citing RAPL and
-warehouse-scale provisioning). This module provides that substrate: a
-controller that watches the platform's energy meter the way RAPL watches
-its energy counters and throttles the clocks to keep average power under
-a budget.
+warehouse-scale provisioning). These policies provide that substrate: a
+RAPL-style outer loop that watches the platform's energy meter and
+throttles the clocks to keep window-average power under a budget.
 
 Two variants:
 
-* :class:`PowerCapController` — capping on an otherwise stock machine
-  (ondemand base policy, nominal voltage);
-* :class:`CappedDaemonController` — the paper's Optimal daemon with a
-  power cap layered on top: the daemon picks placement/V/F, the capper
-  clamps a maximum frequency that the placement engine then respects.
+* :class:`PowerCapPolicy` — capping on an otherwise stock machine
+  (ondemand base behaviour, nominal voltage);
+* :class:`CappedDaemonPolicy` — the paper's Optimal daemon with a power
+  cap layered on top: the daemon picks placement/V/F, the capper clamps
+  a maximum frequency that the placement engine then respects.
 """
 
 from __future__ import annotations
@@ -23,13 +22,12 @@ from __future__ import annotations
 from typing import List, Optional
 
 from ..errors import ConfigurationError
+from ..core.placement import PlacementEngine
+from ..core.policy import VminPolicyTable
 from ..platform.specs import ChipSpec
-from ..sim.governor import OndemandGovernor
-from ..sim.process import SimProcess
-from ..sim.system import Controller
 from .daemon import OnlineMonitoringDaemon
-from .placement import PlacementEngine
-from .policy import VminPolicyTable
+from .governors import ondemand_targets
+from .surfaces import Action, Observation, Policy, PolicyEvent
 
 
 class _WindowPowerMeter:
@@ -39,10 +37,10 @@ class _WindowPowerMeter:
         self._last_energy_j = 0.0
         self._last_time_s = 0.0
 
-    def read(self, system) -> Optional[float]:
+    def read(self, obs: Observation) -> Optional[float]:
         """Average power since the previous read; None on a zero window."""
-        energy = system.meter.energy_j
-        now = system.now
+        energy = obs.energy_j
+        now = obs.now
         dt = now - self._last_time_s
         if dt <= 0:
             return None
@@ -52,7 +50,7 @@ class _WindowPowerMeter:
         return power
 
 
-class PowerCapController(Controller):
+class PowerCapPolicy(Policy):
     """Keep average power under a budget by clamping the clock ceiling.
 
     Every control window the measured window-average power is compared
@@ -69,7 +67,6 @@ class PowerCapController(Controller):
         window_s: float = 0.5,
         release_margin: float = 0.9,
     ):
-        super().__init__()
         if cap_w <= 0:
             raise ConfigurationError("power cap must be positive")
         if not 0.0 < release_margin < 1.0:
@@ -78,7 +75,6 @@ class PowerCapController(Controller):
         self.cap_w = cap_w
         self.release_margin = release_margin
         self.monitor_period_s = window_s
-        self.governor = OndemandGovernor()
         self._meter = _WindowPowerMeter()
         self._steps: List[int] = list(spec.frequency_steps())
         self._ceiling_index = len(self._steps) - 1
@@ -90,47 +86,51 @@ class PowerCapController(Controller):
         """Current maximum clock the capper allows."""
         return self._steps[self._ceiling_index]
 
-    def on_start(self) -> None:
-        """Start at the governor's defaults."""
-        self.governor.apply(self.system.chip, self.system.now)
-        self._apply_ceiling()
-
-    def on_process_started(self, process: SimProcess) -> None:
-        """Re-run the base governor, then clamp."""
-        self.governor.apply(self.system.chip, self.system.now)
-        self._apply_ceiling()
-
-    def on_process_finished(self, process: SimProcess) -> None:
-        """Re-run the base governor, then clamp."""
-        self.governor.apply(self.system.chip, self.system.now)
-        self._apply_ceiling()
-
-    def on_tick(self) -> None:
-        """RAPL-style control step on the window-average power."""
-        power = self._meter.read(self.system)
-        if power is None:
-            return
-        if power > self.cap_w and self._ceiling_index > 0:
-            self._ceiling_index -= 1
-            self.throttle_events += 1
-            self._apply_ceiling()
-        elif (
-            power < self.cap_w * self.release_margin
-            and self._ceiling_index < len(self._steps) - 1
-        ):
-            self._ceiling_index += 1
-            self.release_events += 1
-            self._apply_ceiling()
-
-    def _apply_ceiling(self) -> None:
-        chip = self.system.chip
+    def decide(self, obs: Observation) -> Optional[Action]:
+        """Ondemand base behaviour, clamped; RAPL step on every tick."""
+        event = obs.event
+        if event is PolicyEvent.ADMIT:
+            return None
+        if event is PolicyEvent.TICK:
+            power = self._meter.read(obs)
+            if power is None:
+                return None
+            if power > self.cap_w and self._ceiling_index > 0:
+                self._ceiling_index -= 1
+                self.throttle_events += 1
+            elif (
+                power < self.cap_w * self.release_margin
+                and self._ceiling_index < len(self._steps) - 1
+            ):
+                self._ceiling_index += 1
+                self.release_events += 1
+            else:
+                return None
+            return self._clamp_action(obs)
+        # START / STARTED / FINISHED: re-run the base governor, then
+        # clamp everything above the ceiling.
         ceiling = self.ceiling_hz
-        for pmd in range(self.spec.n_pmds):
-            if chip.cppc.frequency_of(pmd) > ceiling:
-                self.system.set_pmd_frequency(pmd, ceiling)
+        freqs = {
+            pmd: min(freq, ceiling)
+            for pmd, freq in ondemand_targets(obs, "chip").items()
+        }
+        return Action(
+            pmd_freqs_hz=freqs,
+            power_cap_w=self.cap_w,
+        )
+
+    def _clamp_action(self, obs: Observation) -> Action:
+        """Clamp only the PMDs currently clocked above the ceiling."""
+        ceiling = self.ceiling_hz
+        freqs = {
+            pmd: ceiling
+            for pmd in range(self.spec.n_pmds)
+            if obs.pmd_frequency_hz(pmd) > ceiling
+        }
+        return Action(pmd_freqs_hz=freqs, power_cap_w=self.cap_w)
 
 
-class CappedDaemonController(OnlineMonitoringDaemon):
+class CappedDaemonPolicy(OnlineMonitoringDaemon):
     """The paper's Optimal daemon under a power budget.
 
     The capper's ceiling becomes the placement engine's CPU clock, so
@@ -166,12 +166,14 @@ class CappedDaemonController(OnlineMonitoringDaemon):
         """Current maximum clock the capper allows."""
         return self._steps[self._ceiling_index]
 
-    def on_tick(self) -> None:
-        """Daemon monitoring plus the capping control step."""
-        super().on_tick()
-        power = self._meter.read(self.system)
+    def decide(self, obs: Observation) -> Optional[Action]:
+        """Daemon decision flow plus the capping control step on ticks."""
+        action = super().decide(obs)
+        if obs.event is not PolicyEvent.TICK:
+            return action
+        power = self._meter.read(obs)
         if power is None:
-            return
+            return action
         changed = False
         if power > self.cap_w and self._ceiling_index > 0:
             self._ceiling_index -= 1
@@ -184,10 +186,15 @@ class CappedDaemonController(OnlineMonitoringDaemon):
             self._ceiling_index += 1
             self.release_events += 1
             changed = True
-        if changed:
-            self._rebuild_engine()
-            plan = self.engine.retune(self.system.running_processes())
-            self.engine.apply(self.system, plan)
+        if not changed:
+            return action
+        # The new ceiling supersedes whatever the monitor pass planned:
+        # rebuild the engine around it and retune clocks and rail.
+        self._rebuild_engine()
+        plan = self.engine.retune(obs.running_processes())
+        capped = self.engine.action_for(plan, obs.chip_state())
+        capped.power_cap_w = self.cap_w
+        return capped
 
     def _rebuild_engine(self) -> None:
         self.engine = PlacementEngine(

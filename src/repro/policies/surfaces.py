@@ -1,0 +1,261 @@
+"""The control-plane surfaces: what a policy may see and may request.
+
+The paper's online daemon (Section VI) is a decision loop: read the
+machine (PMU counters, utilized PMDs, the rail, wall-clock time), decide
+a configuration (voltage set-point, per-PMD clocks, placement), actuate
+it through SLIMpro/CPPC. This module fixes that loop as two explicit
+typed surfaces:
+
+* :class:`Observation` — a read-only *live* view of the simulated server
+  handed to a policy at every control event. It is deliberately a thin
+  window over :class:`~repro.sim.system.ServerSystem` rather than a
+  snapshot: properties read the current machine state at access time, so
+  a policy pays only for what it looks at (the hot dispatch path of the
+  incremental engine stays allocation-free for policies that ignore an
+  event).
+* :class:`Action` — everything a policy may request back: a fail-safe
+  voltage raise, thread migrations, per-PMD frequency set-points, a
+  settle voltage and (for capping policies) a chip power cap. ``None``
+  fields mean "no request"; the actuation layer
+  (:mod:`repro.policies.actuation`) applies the non-``None`` fields in
+  the paper's fail-safe order (raise -> reconfigure -> settle).
+
+:class:`Policy` replaces the old ``Controller`` ABC. A policy is a
+single function of the observation::
+
+    def decide(self, obs: Observation) -> Optional[Action]
+
+dispatched on five event kinds (:class:`PolicyEvent`). Policies that
+need the *post-actuation* machine state (the Fig. 13 flow tracer, or
+audit tooling) additionally override :meth:`Policy.on_applied`; the
+engine detects the override once per run and skips the hook entirely
+otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..platform.chip import Chip, ChipState
+    from ..platform.specs import ChipSpec
+    from ..sim.process import SimProcess
+    from ..sim.system import ServerSystem
+
+
+class PolicyEvent:
+    """The five control events a policy is consulted on.
+
+    Matches the old ``Controller`` hook set one-to-one so the ported
+    policies keep their exact callback cadence (and the
+    ``sim.controller.callbacks`` telemetry counter its meaning):
+
+    * ``START`` — simulation begins, before any arrival (park clocks,
+      set the initial rail);
+    * ``ADMIT`` — a process is about to be placed (pre-invocation
+      fail-safe raise; optionally choose the cores);
+    * ``STARTED`` — a process was placed and occupies its cores;
+    * ``FINISHED`` — a process released its cores;
+    * ``TICK`` — one monitor period elapsed (only delivered when the
+      policy sets :attr:`Policy.monitor_period_s`).
+    """
+
+    START = "start"
+    ADMIT = "admit"
+    STARTED = "started"
+    FINISHED = "finished"
+    TICK = "tick"
+
+
+class Observation:
+    """Read-only live view of the server for one policy decision.
+
+    Everything the paper's monitor can read is reachable from here: the
+    wall clock, rail voltage, per-PMD clocks and occupancy, the PMU
+    droop counters, the running processes (whose ``counters`` carry the
+    cycles/L3C snapshot the classifier consumes) and the energy meter.
+    Properties are computed on access against the *current* machine
+    state — inside :meth:`Policy.on_applied` the same observation
+    object therefore shows the post-actuation state.
+    """
+
+    __slots__ = ("system", "event", "process")
+
+    def __init__(
+        self,
+        system: "ServerSystem",
+        event: str,
+        process: Optional["SimProcess"] = None,
+    ):
+        #: The system under control (treat as read-only).
+        self.system = system
+        #: One of the :class:`PolicyEvent` kinds.
+        self.event = event
+        #: The process the event concerns (``ADMIT``/``STARTED``/
+        #: ``FINISHED``), else ``None``.
+        self.process = process
+
+    # -- wall clock ----------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Simulated wall-clock time, seconds."""
+        return self.system.now
+
+    # -- chip state ----------------------------------------------------------
+
+    @property
+    def spec(self) -> "ChipSpec":
+        """Platform specification of the chip under control."""
+        return self.system.spec
+
+    @property
+    def chip(self) -> "Chip":
+        """The chip (treat as read-only; actuate via :class:`Action`)."""
+        return self.system.chip
+
+    @property
+    def voltage_mv(self) -> int:
+        """Current rail voltage, mV."""
+        return self.system.chip.voltage_mv
+
+    @property
+    def active_cores(self) -> frozenset:
+        """Cores with a running thread."""
+        return self.system.chip.active_cores
+
+    @property
+    def utilized_pmds(self) -> frozenset:
+        """PMDs with at least one running thread (the droop class input)."""
+        return self.system.chip.utilized_pmds
+
+    def chip_state(self) -> "ChipState":
+        """Immutable snapshot of rail, clocks and occupancy."""
+        return self.system.chip.state()
+
+    def pmd_is_idle(self, pmd: int) -> bool:
+        """True when no core of ``pmd`` runs a thread."""
+        return self.system.chip.pmd_is_fully_idle(pmd)
+
+    def pmd_frequency_hz(self, pmd: int) -> int:
+        """Current clock of one PMD, Hz."""
+        return self.system.chip.cppc.frequency_of(pmd)
+
+    # -- PMU / power ---------------------------------------------------------
+
+    @property
+    def droop_events(self) -> Dict[int, int]:
+        """PMU droop-detection counters per severity bin."""
+        return self.system.chip.pmu.counts()
+
+    @property
+    def energy_j(self) -> float:
+        """Accumulated chip energy since the run started, J."""
+        return self.system.meter.energy_j
+
+    # -- workload ------------------------------------------------------------
+
+    def running_processes(self) -> List["SimProcess"]:
+        """Currently running processes (counters, class, cores)."""
+        return self.system.running_processes()
+
+    @property
+    def queue_depth(self) -> int:
+        """Arrived-but-unplaced processes waiting for cores."""
+        return len(self.system.queue)
+
+    def process_frequency_hz(self, process: "SimProcess") -> int:
+        """Lowest clock among a process's occupied cores, Hz."""
+        return self.system.process_frequency_hz(process)
+
+
+@dataclass(slots=True)
+class Action:
+    """A policy's requested reconfiguration; ``None`` fields are no-ops.
+
+    The actuation layer applies the fields in the paper's fail-safe
+    order (Fig. 13): first the conditional *raise* (the rail only ever
+    moves up before a reconfiguration), then *migrations*, then per-PMD
+    *frequencies*, then the *settle* voltage. See
+    :func:`repro.policies.actuation.apply_action` for the exact
+    semantics of each field.
+    """
+
+    #: Fail-safe pre-reconfiguration rail level, mV. Applied only when
+    #: above the current rail (a raise can never lower the voltage).
+    raise_voltage_mv: Optional[int] = None
+    #: Thread migrations, pid -> target cores. Pids not currently
+    #: running and no-op moves are skipped; the rest are applied as one
+    #: atomic :meth:`~repro.sim.system.ServerSystem.migrate_many`.
+    migrations: Optional[Dict[int, Tuple[int, ...]]] = None
+    #: Per-PMD frequency set-points, Hz, applied in insertion order.
+    pmd_freqs_hz: Optional[Dict[int, int]] = None
+    #: Rail settle level, mV, applied last (may lower the voltage).
+    voltage_mv: Optional[int] = None
+    #: For ``ADMIT`` events only: the cores to place the arriving
+    #: process on; ``None`` defers to the system scheduler.
+    admit_cores: Optional[Tuple[int, ...]] = None
+    #: Advisory chip power cap, W (consumed by capping policy stacks,
+    #: not actuated directly — the chip has no cap register).
+    power_cap_w: Optional[float] = None
+
+    def is_noop(self) -> bool:
+        """True when no field requests anything."""
+        return (
+            self.raise_voltage_mv is None
+            and not self.migrations
+            and not self.pmd_freqs_hz
+            and self.voltage_mv is None
+            and self.admit_cores is None
+            and self.power_cap_w is None
+        )
+
+
+class Policy:
+    """Base control policy: observe the machine, request an action.
+
+    The default implementation never requests anything — a system run
+    with the bare :class:`Policy` behaves like the uncontrolled machine.
+    Subclasses override :meth:`decide`; policies that drive a monitor
+    loop set :attr:`monitor_period_s` to receive ``TICK`` events.
+    """
+
+    #: Registry key the policy was resolved under, or ``None`` when the
+    #: instance was constructed directly (set by the policy registry).
+    key: Optional[str] = None
+
+    #: Monitor period in seconds; ``None`` disables ``TICK`` events.
+    monitor_period_s: Optional[float] = None
+
+    def decide(self, obs: Observation) -> Optional[Action]:
+        """Decide on one control event; ``None`` means no action."""
+        return None
+
+    def on_applied(
+        self, obs: Observation, action: Optional[Action]
+    ) -> None:
+        """Post-actuation hook; ``obs`` now shows the applied state.
+
+        Only invoked when a subclass overrides it — the dispatch loop
+        checks once per run and skips the call entirely otherwise, so
+        ordinary policies pay nothing for it.
+        """
+
+    def decision_counters(self) -> Dict[str, int]:
+        """Decision counters for telemetry (see the arbitration layer)."""
+        return {}
+
+    def describe(self) -> str:
+        """One-line human description (used by ``repro policy show``)."""
+        doc = (type(self).__doc__ or "").strip()
+        return doc.splitlines()[0] if doc else type(self).__name__
+
+
+@dataclass(slots=True)
+class _FieldMerge:
+    """Bookkeeping for one merged field during stack arbitration."""
+
+    value: object = None
+    taken: bool = False
+    overrides: int = field(default=0)

@@ -1,8 +1,10 @@
-"""Discrete-event server simulator: processes, scheduler, governor, traces."""
+"""Discrete-event server simulator: processes, scheduler, traces.
 
-from .controllers import BaselineController
+Control policies live in :mod:`repro.policies`; the simulator only
+dispatches ``Observation -> Action`` (see :class:`ServerSystem`).
+"""
+
 from .engine import Event, EventQueue, SimClock
-from .governor import OndemandGovernor, PerformanceGovernor, PowersaveGovernor
 from .process import (
     ProcessCounters,
     ProcessState,
@@ -11,7 +13,6 @@ from .process import (
 )
 from .scheduler import ClusterScheduler, SpreadScheduler
 from .system import (
-    Controller,
     ServerSystem,
     SystemResult,
     ViolationRecord,
@@ -19,14 +20,9 @@ from .system import (
 from .tracing import TimelineTrace, TraceSample, moving_average
 
 __all__ = [
-    "BaselineController",
     "ClusterScheduler",
-    "Controller",
     "Event",
     "EventQueue",
-    "OndemandGovernor",
-    "PerformanceGovernor",
-    "PowersaveGovernor",
     "ProcessCounters",
     "ProcessState",
     "ServerSystem",

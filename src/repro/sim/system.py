@@ -1,9 +1,15 @@
 """The server-system simulator: Linux-like process lifecycle on a chip.
 
 :class:`ServerSystem` replays a generated workload (Section VI.B) on a
-:class:`~repro.platform.chip.Chip` under a pluggable policy controller —
-the Baseline governor, the Safe-Vmin trim, or the paper's monitoring
-daemon. The model is fluid: between events every running process advances
+:class:`~repro.platform.chip.Chip` under a pluggable
+:class:`~repro.policies.surfaces.Policy` — the Baseline governor, the
+Safe-Vmin trim, or the paper's monitoring daemon. The simulator itself
+contains no policy logic: at each control event it builds an
+:class:`~repro.policies.surfaces.Observation`, asks the policy to
+``decide``, and actuates the returned
+:class:`~repro.policies.surfaces.Action` through the one sanctioned
+funnel (:func:`repro.policies.actuation.apply_action`). The model is
+fluid: between events every running process advances
 at a rate set by its profile, its clock, its PMD sharing and the
 chip-wide memory contention; power is constant on each interval and
 integrates into energy.
@@ -42,6 +48,8 @@ from ..telemetry import names as metric_names
 from ..perf.model import ExecutionState, bandwidth_demand_gbs, execution_state
 from ..platform.chip import Chip, ChipState
 from ..platform.thermal import ThermalModel
+from ..policies.actuation import apply_action
+from ..policies.surfaces import Action, Observation, Policy, PolicyEvent
 from ..power.energy import EnergyMeter, ed2p
 from ..power.model import PowerModel
 from ..vmin.droop import DroopModel
@@ -107,48 +115,13 @@ class SystemResult:
         return sum(p.migrations for p in self.processes)
 
 
-class Controller:
-    """Base policy controller; the Baseline and daemon configs subclass it.
-
-    Hooks run inside the simulator's event handlers; they may reconfigure
-    the chip and migrate processes through the system's API, and the
-    simulator refreshes all rates afterwards.
-    """
-
-    #: Period of ``on_tick`` callbacks; ``None`` disables ticks.
-    monitor_period_s: Optional[float] = None
-
-    def __init__(self) -> None:
-        self.system: Optional["ServerSystem"] = None
-
-    def attach(self, system: "ServerSystem") -> None:
-        """Bind the controller to a system before the run starts."""
-        self.system = system
-
-    def on_start(self) -> None:
-        """Called once at time zero."""
-
-    def place(self, process: SimProcess) -> Optional[Tuple[int, ...]]:
-        """Choose cores for a new process; ``None`` delegates to CFS."""
-        return None
-
-    def on_process_started(self, process: SimProcess) -> None:
-        """Called after a process began running."""
-
-    def on_process_finished(self, process: SimProcess) -> None:
-        """Called after a process completed."""
-
-    def on_tick(self) -> None:
-        """Periodic monitor callback (``monitor_period_s``)."""
-
-
 def _full_refresh_forced() -> bool:
     """True when the environment forces the recompute-everything oracle."""
     return os.environ.get("REPRO_SIM_FULL_REFRESH", "") not in ("", "0")
 
 
 class ServerSystem:
-    """Replays one workload on one chip under one policy controller.
+    """Replays one workload on one chip under one control policy.
 
     ``full_refresh=True`` (or ``REPRO_SIM_FULL_REFRESH=1`` in the
     environment) disables the incremental refresh, the execution-state
@@ -161,7 +134,7 @@ class ServerSystem:
         self,
         chip: Chip,
         workload: Workload,
-        controller: Optional[Controller] = None,
+        policy: Optional[Policy] = None,
         power_model: Optional[PowerModel] = None,
         vmin_model: Optional[VminModel] = None,
         droop_model: Optional[DroopModel] = None,
@@ -175,7 +148,12 @@ class ServerSystem:
         self.chip = chip
         self.spec = chip.spec
         self.workload = workload
-        self.controller = controller or Controller()
+        self.policy = policy or Policy()
+        #: Whether the policy wants the post-actuation hook; detected
+        #: once so ordinary policies pay nothing per dispatch.
+        self._policy_hooked = (
+            type(self.policy).on_applied is not Policy.on_applied
+        )
         self.power_model = power_model or PowerModel(chip.spec)
         self.vmin_model = vmin_model or VminModel.for_chip(chip)
         self.droop_model = droop_model or DroopModel(chip.spec)
@@ -218,7 +196,7 @@ class ServerSystem:
         self._power_w = 0.0
         self._pending_arrivals = 0
         self._crashed = False
-        #: Events dispatched per kind + controller hook invocations;
+        #: Events dispatched per kind + policy dispatch invocations;
         #: preallocated Counter/int slots, flushed into telemetry at
         #: end of run.
         self._event_counts: Counter[str] = Counter()
@@ -257,7 +235,7 @@ class ServerSystem:
         self._refreshes_incremental = 0
         self._reschedules_elided = 0
 
-    # -- public API used by controllers -----------------------------------------
+    # -- public API used by policies and the actuation layer ---------------------
 
     @property
     def now(self) -> float:
@@ -271,7 +249,7 @@ class ServerSystem:
         return list(self._running)
 
     def migrate(self, process: SimProcess, cores: Sequence[int]) -> None:
-        """Move a running process to new cores (controller hook API)."""
+        """Move a running process to new cores (actuation API)."""
         if not process.is_running:
             raise SimulationError(
                 f"pid {process.pid}: cannot migrate a non-running process"
@@ -309,14 +287,6 @@ class ServerSystem:
                 self.chip.occupy(core, process.pid)
             process.migrate(tuple(cores))
 
-    def set_voltage(self, voltage_mv: float) -> int:
-        """Set the shared rail (controller hook API)."""
-        return self.chip.set_voltage(voltage_mv, self.now)
-
-    def set_pmd_frequency(self, pmd_id: int, freq_hz: float) -> int:
-        """Set one PMD's clock (controller hook API)."""
-        return self.chip.set_pmd_frequency(pmd_id, freq_hz, self.now)
-
     def process_frequency_hz(self, process: SimProcess) -> int:
         """Slowest clock among the PMDs a running process occupies."""
         if not process.cores:
@@ -328,15 +298,13 @@ class ServerSystem:
 
     def run(self) -> SystemResult:
         """Replay the whole workload and return the run summary."""
-        self.controller.attach(self)
         for process in self.processes:
             self.events.schedule(process.arrival_s, "arrival", process.pid)
         self._pending_arrivals = len(self.processes)
-        self._controller_calls += 1
-        self.controller.on_start()
-        if self.controller.monitor_period_s:
+        self._dispatch_policy(PolicyEvent.START)
+        if self.policy.monitor_period_s:
             self.events.schedule(
-                self.controller.monitor_period_s, "tick"
+                self.policy.monitor_period_s, "tick"
             )
         self._refresh()
         events = self.events
@@ -376,6 +344,28 @@ class ServerSystem:
 
     # -- event handling ----------------------------------------------------------
 
+    def _dispatch_policy(
+        self, event: str, process: Optional[SimProcess] = None
+    ) -> Optional[Action]:
+        """Consult the policy on one control event and actuate its action.
+
+        The engine's entire contact surface with the control plane: it
+        builds the observation, asks ``decide`` and funnels any returned
+        action through :func:`~repro.policies.actuation.apply_action` —
+        there are no policy-specific branches anywhere in the simulator.
+        One increment of ``_controller_calls`` per dispatch keeps the
+        ``sim.controller.callbacks`` counter's historical meaning.
+        """
+        self._controller_calls += 1
+        obs = Observation(self, event, process)
+        action = self.policy.decide(obs)
+        if action is not None:
+            apply_action(self, action)
+        if self._policy_hooked:
+            # ``obs`` is live, so the hook sees the post-actuation state.
+            self.policy.on_applied(obs, action)
+        return action
+
     def _dispatch(self, event: Event) -> None:
         self._event_counts[event.kind] += 1
         if event.kind == "arrival":
@@ -395,8 +385,8 @@ class ServerSystem:
             self.queue.append(process)
 
     def _try_admit(self, process: SimProcess) -> bool:
-        self._controller_calls += 1
-        cores = self.controller.place(process)
+        action = self._dispatch_policy(PolicyEvent.ADMIT, process)
+        cores = action.admit_cores if action is not None else None
         if cores is None:
             cores = self.scheduler.select_cores(self.chip, process.nthreads)
         if cores is None:
@@ -405,8 +395,7 @@ class ServerSystem:
         for core in process.cores:
             self.chip.occupy(core, process.pid)
         self._running_insert(process)
-        self._controller_calls += 1
-        self.controller.on_process_started(process)
+        self._dispatch_policy(PolicyEvent.STARTED, process)
         return True
 
     def _running_insert(self, process: SimProcess) -> None:
@@ -428,8 +417,7 @@ class ServerSystem:
         self.chip.release_occupant(process.pid)
         process.finish(self.now)
         self._running.remove(process)
-        self._controller_calls += 1
-        self.controller.on_process_finished(process)
+        self._dispatch_policy(PolicyEvent.FINISHED, process)
         self._admit_queued()
 
     def _admit_queued(self) -> None:
@@ -449,16 +437,15 @@ class ServerSystem:
         del self._phase_events[process.pid]
 
     def _handle_tick(self) -> None:
-        self._controller_calls += 1
-        self.controller.on_tick()
+        self._dispatch_policy(PolicyEvent.TICK)
         if self.full_refresh:
             busy = any(p.is_running for p in self.processes)
         else:
             busy = bool(self._running)
         work_left = self._pending_arrivals > 0 or bool(self.queue) or busy
-        if work_left and self.controller.monitor_period_s:
+        if work_left and self.policy.monitor_period_s:
             self.events.schedule(
-                self.now + self.controller.monitor_period_s, "tick"
+                self.now + self.policy.monitor_period_s, "tick"
             )
 
     # -- fluid integration ---------------------------------------------------------
@@ -882,6 +869,11 @@ class ServerSystem:
         telemetry.inc(
             metric_names.SIM_CONTROLLER_CALLBACKS, self._controller_calls
         )
+        # Policies with their own counters (the arbitration stack)
+        # publish them here, inside the same once-per-run flush.
+        policy_flush = getattr(self.policy, "flush_telemetry", None)
+        if policy_flush is not None:
+            policy_flush()
         telemetry.inc(metric_names.SIM_VIOLATIONS, len(self.violations))
         telemetry.inc(
             metric_names.SIM_VOLTAGE_TRANSITIONS,

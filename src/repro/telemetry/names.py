@@ -45,6 +45,12 @@ DAEMON_REPLANS = "daemon.placement.replans"
 DAEMON_RETUNES = "daemon.placement.retunes"
 DAEMON_PLACEMENTS = "daemon.placement.arrival_raises"
 
+# -- policy control plane (repro.policies) ------------------------------------
+
+POLICY_DECISIONS = "policy.stack.decisions"
+POLICY_CLAMPS = "policy.stack.clamps"
+POLICY_OVERRIDES = "policy.stack.overrides"
+
 # -- characterization cache (repro.vmin.cache) --------------------------------
 
 VMIN_CACHE_HITS = "vmin.cache.hits"

@@ -4,45 +4,52 @@ import pytest
 
 from repro.core.configurations import (
     CONFIG_NAMES,
-    make_controller,
+    make_policy,
     run_configuration,
     run_evaluation,
 )
-from repro.core.daemon import OnlineMonitoringDaemon, SafeVminController
 from repro.errors import ConfigurationError
-from repro.sim.controllers import BaselineController
+from repro.policies.daemon import OnlineMonitoringDaemon
+from repro.policies.governors import BaselinePolicy
+from repro.policies.safevmin import SafeVminPolicy
 from repro.workloads.generator import ServerWorkloadGenerator
 
 
 class TestFactory:
     def test_all_names_buildable(self, spec3, policy3):
         for name in CONFIG_NAMES:
-            controller = make_controller(spec3, name, policy=policy3)
-            assert controller is not None
+            policy = make_policy(spec3, name, policy=policy3)
+            assert policy is not None
 
     def test_baseline_type(self, spec3):
         assert isinstance(
-            make_controller(spec3, "baseline"), BaselineController
+            make_policy(spec3, "baseline"), BaselinePolicy
+        )
+
+    def test_registry_keys_accepted_directly(self, spec3, policy3):
+        assert isinstance(
+            make_policy(spec3, "safe-vmin", policy=policy3),
+            SafeVminPolicy,
         )
 
     def test_safe_vmin_type(self, spec3, policy3):
         assert isinstance(
-            make_controller(spec3, "safe_vmin", policy=policy3),
-            SafeVminController,
+            make_policy(spec3, "safe_vmin", policy=policy3),
+            SafeVminPolicy,
         )
 
     def test_placement_daemon_without_voltage(self, spec3, policy3):
-        daemon = make_controller(spec3, "placement", policy=policy3)
+        daemon = make_policy(spec3, "placement", policy=policy3)
         assert isinstance(daemon, OnlineMonitoringDaemon)
         assert not daemon.control_voltage
 
     def test_optimal_daemon_with_voltage(self, spec3, policy3):
-        daemon = make_controller(spec3, "optimal", policy=policy3)
+        daemon = make_policy(spec3, "optimal", policy=policy3)
         assert daemon.control_voltage
 
     def test_unknown_config(self, spec3):
         with pytest.raises(ConfigurationError):
-            make_controller(spec3, "turbo")
+            make_policy(spec3, "turbo")
 
 
 @pytest.fixture(scope="module")

@@ -1,7 +1,8 @@
 """Tests for the online monitoring daemon end to end (paper Section VI)."""
 
 
-from repro.core.daemon import OnlineMonitoringDaemon, SafeVminController
+from repro.policies.daemon import OnlineMonitoringDaemon
+from repro.policies.safevmin import SafeVminPolicy
 from repro.platform.chip import Chip
 from repro.platform.specs import xgene2_spec
 from repro.sim.process import WorkloadClass
@@ -120,27 +121,25 @@ class TestPlacementConfigDaemon:
         assert system.chip.cppc.transition_count() > 0
 
 
-class TestSafeVminController:
+class TestSafeVminPolicy:
     def test_no_violations(self, policy3, spec3):
         chip = Chip(spec3)
-        controller = SafeVminController(spec3, policy=policy3)
         system = ServerSystem(
             chip,
             make_workload(
                 [("CG", 4, 0.0), ("namd", 1, 5.0)], max_cores=32
             ),
-            controller,
+            SafeVminPolicy(spec3, policy=policy3),
         )
         result = system.run()
         assert result.violations == []
 
     def test_voltage_tracks_utilized_pmds(self, policy3, spec3):
         chip = Chip(spec3)
-        controller = SafeVminController(spec3, policy=policy3)
         system = ServerSystem(
             chip,
             make_workload([("EP", 8, 0.0)], max_cores=32),
-            controller,
+            SafeVminPolicy(spec3, policy=policy3),
         )
         result = system.run()
         busy_voltages = {
@@ -153,11 +152,10 @@ class TestSafeVminController:
 
     def test_keeps_ondemand_frequencies(self, policy3, spec3):
         chip = Chip(spec3)
-        controller = SafeVminController(spec3, policy=policy3)
         system = ServerSystem(
             chip,
             make_workload([("EP", 4, 0.0)], max_cores=32),
-            controller,
+            SafeVminPolicy(spec3, policy=policy3),
         )
         result = system.run()
         busy = [s for s in result.trace.samples if s.busy_cores > 0]

@@ -1,12 +1,12 @@
-"""Tests for the DVFS power-capping controllers."""
+"""Tests for the DVFS power-capping policies."""
 
 import pytest
 
-from repro.core.powercap import CappedDaemonController, PowerCapController
+from repro.policies.powercap import CappedDaemonPolicy, PowerCapPolicy
 from repro.errors import ConfigurationError
 from repro.platform.chip import Chip
 from repro.platform.specs import xgene2_spec, xgene3_spec
-from repro.sim.controllers import BaselineController
+from repro.policies.governors import BaselinePolicy
 from repro.sim.system import ServerSystem
 from repro.workloads.generator import JobSpec, ServerWorkloadGenerator, Workload
 
@@ -22,12 +22,12 @@ def heavy_workload(max_cores=8):
     )
 
 
-class TestPowerCapController:
+class TestPowerCapPolicy:
     def test_throttles_above_cap(self):
         spec = xgene2_spec()
         chip = Chip(spec)
         # Uncapped, 8x namd draws well above 10 W on this model.
-        capper = PowerCapController(spec, cap_w=10.0)
+        capper = PowerCapPolicy(spec, cap_w=10.0)
         result = ServerSystem(chip, heavy_workload(), capper).run()
         assert capper.throttle_events > 0
         trace_power = result.trace.power_series()
@@ -41,16 +41,16 @@ class TestPowerCapController:
     def test_cap_slows_execution(self):
         spec = xgene2_spec()
         uncapped = ServerSystem(
-            Chip(spec), heavy_workload(), BaselineController()
+            Chip(spec), heavy_workload(), BaselinePolicy()
         ).run()
         capped = ServerSystem(
-            Chip(spec), heavy_workload(), PowerCapController(spec, 10.0)
+            Chip(spec), heavy_workload(), PowerCapPolicy(spec, 10.0)
         ).run()
         assert capped.makespan_s > uncapped.makespan_s
 
     def test_loose_cap_never_throttles(self):
         spec = xgene2_spec()
-        capper = PowerCapController(spec, cap_w=500.0)
+        capper = PowerCapPolicy(spec, cap_w=500.0)
         ServerSystem(Chip(spec), heavy_workload(), capper).run()
         assert capper.throttle_events == 0
         assert capper.ceiling_hz == spec.fmax_hz
@@ -68,16 +68,16 @@ class TestPowerCapController:
         workload = Workload(
             jobs=jobs, duration_s=900.0, max_cores=8, seed=0
         )
-        capper = PowerCapController(spec, cap_w=10.0)
+        capper = PowerCapPolicy(spec, cap_w=10.0)
         ServerSystem(Chip(spec), workload, capper).run()
         assert capper.release_events > 0
 
     def test_validation(self):
         spec = xgene2_spec()
         with pytest.raises(ConfigurationError):
-            PowerCapController(spec, cap_w=0.0)
+            PowerCapPolicy(spec, cap_w=0.0)
         with pytest.raises(ConfigurationError):
-            PowerCapController(spec, cap_w=10.0, release_margin=1.5)
+            PowerCapPolicy(spec, cap_w=10.0, release_margin=1.5)
 
 
 class TestCappedDaemon:
@@ -86,7 +86,7 @@ class TestCappedDaemon:
         workload = ServerWorkloadGenerator(
             max_cores=32, seed=31
         ).generate(600.0)
-        capped = CappedDaemonController(spec, cap_w=30.0)
+        capped = CappedDaemonPolicy(spec, cap_w=30.0)
         result = ServerSystem(Chip(spec), workload, capped).run()
         assert result.violations == []
         assert capped.throttle_events > 0
@@ -97,10 +97,10 @@ class TestCappedDaemon:
             max_cores=32, seed=31
         ).generate(600.0)
         base = ServerSystem(
-            Chip(spec), workload, PowerCapController(spec, 30.0)
+            Chip(spec), workload, PowerCapPolicy(spec, 30.0)
         ).run()
         smart = ServerSystem(
-            Chip(spec), workload, CappedDaemonController(spec, 30.0)
+            Chip(spec), workload, CappedDaemonPolicy(spec, 30.0)
         ).run()
         # Same budget, but the daemon also trims voltage and places
         # work intelligently -> less energy for the same jobs.
@@ -108,7 +108,7 @@ class TestCappedDaemon:
 
     def test_ceiling_never_below_memory_clock(self):
         spec = xgene3_spec()
-        capped = CappedDaemonController(spec, cap_w=1.0)  # impossible cap
+        capped = CappedDaemonPolicy(spec, cap_w=1.0)  # impossible cap
         workload = ServerWorkloadGenerator(
             max_cores=32, seed=31
         ).generate(300.0)

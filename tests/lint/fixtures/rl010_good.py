@@ -1,0 +1,14 @@
+"""Fixture: actuation described as Actions, applied via the funnel."""
+
+from repro.policies.actuation import apply_action
+from repro.policies.surfaces import Action
+
+
+def park_all(system, spec):
+    pmds = range(spec.cores // spec.cores_per_pmd)
+    action = Action(
+        pmd_freqs_hz={pmd: spec.fmin_hz for pmd in pmds},
+        voltage_mv=spec.vmin_baseline_mv,
+    )
+    apply_action(system, action)
+    return action

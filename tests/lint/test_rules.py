@@ -221,6 +221,47 @@ class TestRL007PlatformNames:
         assert marks == []
 
 
+class TestRL010ActuationFunnel:
+    def test_bad_fixture_exact_positions(self):
+        marks, findings = lint_fixture(
+            "rl010_bad.py", "repro.experiments.fixture"
+        )
+        assert marks == [
+            ("RL010", 5, 4),    # chip.set_voltage(...)
+            ("RL010", 9, 4),    # chip.set_pmd_frequency(...)
+            ("RL010", 10, 4),   # chip.cppc.request(...)
+            ("RL010", 14, 4),   # chip.set_all_frequencies(...)
+            ("RL010", 15, 11),  # chip.cppc.request_all(...)
+            ("RL010", 19, 4),   # slimpro.set_voltage_mv(...)
+        ]
+        assert "apply_action" in findings[0].message
+        assert "set_voltage" in findings[0].message
+
+    def test_good_fixture_clean(self):
+        marks, _ = lint_fixture(
+            "rl010_good.py", "repro.experiments.fixture"
+        )
+        assert marks == []
+
+    def test_policies_package_not_blanket_exempt(self):
+        # Only the funnel module's reasoned suppressions are sanctioned;
+        # a governor module calling mutators directly is still flagged.
+        marks, _ = lint_fixture(
+            "rl010_bad.py", "repro.policies.fixture"
+        )
+        assert [m[0] for m in marks] == ["RL010"] * 6
+
+    def test_platform_package_exempt(self):
+        marks, _ = lint_fixture("rl010_bad.py", "repro.platform.chip")
+        assert marks == []
+
+    def test_test_code_exempt(self):
+        marks, _ = lint_fixture(
+            "rl010_bad.py", "test_fixture", is_test=True
+        )
+        assert marks == []
+
+
 class TestSuppressions:
     def test_reasoned_suppression_silences(self):
         marks, _ = lint_fixture(

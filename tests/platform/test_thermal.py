@@ -116,10 +116,11 @@ class TestDerivedEffects:
 
 class TestSystemIntegration:
     def test_disabled_by_default(self, chip2, short_workload2):
-        from repro.sim import BaselineController, ServerSystem
+        from repro.policies.governors import BaselinePolicy
+        from repro.sim import ServerSystem
 
         system = ServerSystem(
-            chip2, short_workload2, BaselineController()
+            chip2, short_workload2, BaselinePolicy()
         )
         system.run()
         assert system.thermal is None
@@ -127,13 +128,14 @@ class TestSystemIntegration:
 
     def test_temperature_tracks_load(self, spec2, short_workload2):
         from repro.platform.chip import Chip
-        from repro.sim import BaselineController, ServerSystem
+        from repro.policies.governors import BaselinePolicy
+        from repro.sim import ServerSystem
 
         thermal = ThermalModel(spec2)
         system = ServerSystem(
             Chip(spec2),
             short_workload2,
-            BaselineController(),
+            BaselinePolicy(),
             thermal_model=thermal,
         )
         system.run()
@@ -143,13 +145,14 @@ class TestSystemIntegration:
 
     def test_hot_run_uses_more_energy(self, spec2, short_workload2):
         from repro.platform.chip import Chip
-        from repro.sim import BaselineController, ServerSystem
+        from repro.policies.governors import BaselinePolicy
+        from repro.sim import ServerSystem
 
         def energy(ambient):
             system = ServerSystem(
                 Chip(spec2),
                 short_workload2,
-                BaselineController(),
+                BaselinePolicy(),
                 thermal_model=ThermalModel(spec2, ambient_c=ambient),
             )
             return system.run().energy_j
@@ -160,7 +163,7 @@ class TestSystemIntegration:
         # At an extreme ambient the audit adds the thermal shift: an
         # undervolted-but-normally-safe rail becomes a violation.
         from repro.platform.chip import Chip
-        from repro.core.daemon import OnlineMonitoringDaemon
+        from repro.policies.daemon import OnlineMonitoringDaemon
         from repro.sim import ServerSystem
         from repro.workloads.generator import JobSpec, Workload
 

@@ -1,0 +1,1 @@
+"""Tests of the composable policy control plane."""

@@ -1,0 +1,188 @@
+"""Property-based tests of the policy stack's mandatory safe-Vmin clamp.
+
+The structural claim of the arbitration layer: *no composition of
+policies — however adversarial — can drive the rail below the measured
+safe Vmin of the machine's current state*. Random stacks mixing real
+governors with deliberately reckless members are replayed over random
+workloads on both chips; the engine's voltage audit must stay silent
+and the applied rail must end at or above the table level. A second
+property pins determinism: identical stack composition and seed must
+reproduce the run bit-for-bit, decision counters included.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.policy import VminPolicyTable
+from repro.platform.chip import Chip
+from repro.platform.specs import xgene2_spec, xgene3_spec
+from repro.policies.arbitration import PolicyStack
+from repro.policies.governors import (
+    BaselinePolicy,
+    OndemandPolicy,
+    PerformancePolicy,
+    PowersavePolicy,
+)
+from repro.policies.safevmin import SafeVminPolicy
+from repro.policies.surfaces import Action, Policy, PolicyEvent
+from repro.sim.system import ServerSystem
+from repro.workloads.generator import JobSpec, Workload
+from repro.workloads.suites import get_benchmark
+
+SPECS = {"xgene2": xgene2_spec(), "xgene3": xgene3_spec()}
+TABLES = {
+    key: VminPolicyTable.from_characterization(spec)
+    for key, spec in SPECS.items()
+}
+#: Small benchmark pool mixing both classes and both program shapes.
+_POOL = ("namd", "EP", "CG", "mcf")
+
+
+class _Undervolter(Policy):
+    """Adversary: settles the rail far below any safe level, always."""
+
+    def __init__(self, settle_mv: int):
+        self.settle_mv = settle_mv
+
+    def decide(self, obs):
+        if obs.event is PolicyEvent.ADMIT:
+            return None
+        return Action(voltage_mv=self.settle_mv)
+
+
+class _WeakRaiser(Policy):
+    """Adversary: answers every admission with a uselessly low raise."""
+
+    def decide(self, obs):
+        if obs.event is PolicyEvent.ADMIT:
+            return Action(raise_voltage_mv=705)
+        return None
+
+
+class _HotClocker(Policy):
+    """Adversary: pins every clock at fmax while undervolting."""
+
+    def __init__(self, spec):
+        self.spec = spec
+
+    def decide(self, obs):
+        if obs.event is PolicyEvent.ADMIT:
+            return None
+        return Action(
+            pmd_freqs_hz={
+                pmd: self.spec.fmax_hz for pmd in range(self.spec.n_pmds)
+            },
+            voltage_mv=660,
+        )
+
+
+#: Member factories: (label, chip key -> fresh policy). Fresh instances
+#: per run keep stateful members from leaking across replays.
+MEMBER_FACTORIES = (
+    ("noop", lambda key: Policy()),
+    ("baseline", lambda key: BaselinePolicy()),
+    ("ondemand-chip", lambda key: OndemandPolicy(scope="chip")),
+    ("ondemand-pmd", lambda key: OndemandPolicy(scope="pmd")),
+    ("performance", lambda key: PerformancePolicy()),
+    ("powersave", lambda key: PowersavePolicy()),
+    (
+        "safe-vmin",
+        lambda key: SafeVminPolicy(SPECS[key], policy=TABLES[key]),
+    ),
+    ("undervolt-650", lambda key: _Undervolter(650)),
+    ("undervolt-720", lambda key: _Undervolter(720)),
+    ("weak-raiser", lambda key: _WeakRaiser()),
+    ("hot-clocker", lambda key: _HotClocker(SPECS[key])),
+)
+_FACTORY_BY_LABEL = dict(MEMBER_FACTORIES)
+
+
+@st.composite
+def stack_runs(draw):
+    """(chip key, member labels, workload) for one stacked replay."""
+    chip_key = draw(st.sampled_from(tuple(SPECS)))
+    labels = draw(
+        st.lists(
+            st.sampled_from([label for label, _ in MEMBER_FACTORIES]),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    spec = SPECS[chip_key]
+    jobs = []
+    count = draw(st.integers(1, 4))
+    for job_id in range(count):
+        name = draw(st.sampled_from(_POOL))
+        parallel = get_benchmark(name).parallel
+        nthreads = draw(st.sampled_from((2, 4))) if parallel else 1
+        start = draw(st.floats(0.0, 60.0).map(lambda v: round(v, 2)))
+        jobs.append(JobSpec(job_id, name, nthreads, start))
+    workload = Workload(
+        jobs=tuple(jobs),
+        duration_s=200.0,
+        max_cores=spec.n_cores,
+        seed=0,
+    )
+    return chip_key, labels, workload
+
+
+def build_stack(chip_key, labels):
+    """A fresh stack of the drawn members over the shared table."""
+    return PolicyStack(
+        SPECS[chip_key],
+        [_FACTORY_BY_LABEL[label](chip_key) for label in labels],
+        table=TABLES[chip_key],
+    )
+
+
+def replay(chip_key, labels, workload):
+    stack = build_stack(chip_key, labels)
+    system = ServerSystem(
+        Chip(SPECS[chip_key]), workload, policy=stack
+    )
+    return system.run(), system, stack
+
+
+class TestClampSafety:
+    @given(stack_runs())
+    @settings(max_examples=30, deadline=None)
+    def test_rail_never_below_safe_vmin(self, drawn):
+        chip_key, labels, workload = drawn
+        result, system, stack = replay(chip_key, labels, workload)
+        # The engine's own audit: the applied voltage never sat below
+        # the machine's safe Vmin while anything was running.
+        assert result.violations == []
+        # And the final state is explicitly at or above the table level.
+        state = system.chip.state()
+        required = TABLES[chip_key].safe_voltage_mv(
+            max(1, len(state.active_pmds)), state.max_active_frequency()
+        )
+        assert system.chip.voltage_mv >= required
+        assert all(p.finish_s is not None for p in result.processes)
+        assert stack.decisions > 0
+
+    @given(stack_runs())
+    @settings(max_examples=10, deadline=None)
+    def test_undervolter_alone_is_contained(self, drawn):
+        chip_key, _, workload = drawn
+        # The worst member on its own: the clamp is the only defence.
+        result, _, stack = replay(chip_key, ["undervolt-650"], workload)
+        assert result.violations == []
+        assert stack.clamps > 0
+
+
+class TestDeterminism:
+    @given(stack_runs())
+    @settings(max_examples=15, deadline=None)
+    def test_identical_seed_identical_run(self, drawn):
+        chip_key, labels, workload = drawn
+        first, _, stack_a = replay(chip_key, labels, workload)
+        second, _, stack_b = replay(chip_key, labels, workload)
+        assert first.makespan_s == second.makespan_s
+        assert first.energy_j == second.energy_j
+        assert first.voltage_transitions == second.voltage_transitions
+        assert first.frequency_transitions == second.frequency_transitions
+        assert [p.finish_s for p in first.processes] == [
+            p.finish_s for p in second.processes
+        ]
+        assert stack_a.decision_counters() == stack_b.decision_counters()

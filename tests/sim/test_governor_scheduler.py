@@ -1,56 +1,85 @@
-"""Tests for the governors and the default scheduler."""
+"""Tests for the governor policies and the default scheduler."""
 
 import pytest
 
 from repro.allocation import utilized_pmds
-from repro.sim.governor import (
-    OndemandGovernor,
-    PerformanceGovernor,
-    PowersaveGovernor,
+from repro.errors import ConfigurationError
+from repro.policies.actuation import apply_action
+from repro.policies.governors import (
+    OndemandPolicy,
+    PerformancePolicy,
+    PowersavePolicy,
 )
+from repro.policies.surfaces import Observation, PolicyEvent
 from repro.sim.scheduler import ClusterScheduler, SpreadScheduler
+
+
+class _BareSystem:
+    """The minimal system surface a governor observation touches."""
+
+    def __init__(self, chip):
+        self.chip = chip
+        self.spec = chip.spec
+        self.now = 0.0
+
+    def running_processes(self):
+        return []
+
+
+def govern(chip, policy, event=PolicyEvent.STARTED):
+    """Dispatch one event to ``policy`` and actuate its action."""
+    system = _BareSystem(chip)
+    action = policy.decide(Observation(system, event))
+    if action is not None:
+        apply_action(system, action)
+    return action
 
 
 class TestOndemandChipScope:
     def test_idle_chip_parks_all(self, chip2, spec2):
-        OndemandGovernor().apply(chip2)
+        govern(chip2, OndemandPolicy())
         assert chip2.cppc.frequencies() == (spec2.fmin_hz,) * 4
 
     def test_any_busy_core_raises_all(self, chip2, spec2):
         chip2.occupy(5, "p")
-        OndemandGovernor().apply(chip2)
+        govern(chip2, OndemandPolicy())
         assert chip2.cppc.frequencies() == (spec2.fmax_hz,) * 4
 
     def test_returns_to_floor_after_release(self, chip2, spec2):
-        governor = OndemandGovernor()
+        policy = OndemandPolicy()
         chip2.occupy(5, "p")
-        governor.apply(chip2)
+        govern(chip2, policy)
         chip2.release(5)
-        governor.apply(chip2)
+        govern(chip2, policy)
         assert chip2.cppc.frequencies() == (spec2.fmin_hz,) * 4
+
+    def test_no_action_on_admit_or_tick(self, chip2):
+        policy = OndemandPolicy()
+        assert govern(chip2, policy, PolicyEvent.ADMIT) is None
+        assert govern(chip2, policy, PolicyEvent.TICK) is None
 
 
 class TestOndemandPmdScope:
     def test_only_busy_pmds_raised(self, chip2, spec2):
         chip2.occupy(0, "p")
-        OndemandGovernor(scope="pmd").apply(chip2)
+        govern(chip2, OndemandPolicy(scope="pmd"))
         freqs = chip2.cppc.frequencies()
         assert freqs[0] == spec2.fmax_hz
         assert freqs[1:] == (spec2.fmin_hz,) * 3
 
     def test_unknown_scope_rejected(self):
-        with pytest.raises(ValueError):
-            OndemandGovernor(scope="socket")
+        with pytest.raises(ConfigurationError):
+            OndemandPolicy(scope="socket")
 
 
 class TestPinnedGovernors:
     def test_performance(self, chip2, spec2):
         chip2.set_all_frequencies(spec2.fmin_hz)
-        PerformanceGovernor().apply(chip2)
+        govern(chip2, PerformancePolicy())
         assert chip2.cppc.frequencies() == (spec2.fmax_hz,) * 4
 
     def test_powersave(self, chip2, spec2):
-        PowersaveGovernor().apply(chip2)
+        govern(chip2, PowersavePolicy())
         assert chip2.cppc.frequencies() == (spec2.fmin_hz,) * 4
 
 

@@ -9,7 +9,7 @@ not approximately, but with ``==`` on the raw floats.
 
 A separate regression pins the energy-accounting semantics at the end of
 a run: energy integrates exactly up to the last dispatched event, which
-with a ticking controller trails the last process finish by the idle
+with a ticking policy trails the last process finish by the idle
 monitor periods still in the queue — and covers nothing beyond.
 """
 
@@ -19,15 +19,17 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro import telemetry
-from repro.core.daemon import OnlineMonitoringDaemon, SafeVminController
 from repro.core.policy import VminPolicyTable
 from repro.perf.contention import bandwidth_utilization, contention_factor
 from repro.perf.model import bandwidth_demand_gbs, execution_state
 from repro.platform.chip import Chip
 from repro.platform.specs import xgene2_spec, xgene3_spec
 from repro.power.model import PowerModel
-from repro.sim.controllers import BaselineController
-from repro.sim.system import Controller, ServerSystem
+from repro.policies.daemon import OnlineMonitoringDaemon
+from repro.policies.governors import BaselinePolicy
+from repro.policies.safevmin import SafeVminPolicy
+from repro.policies.surfaces import Policy
+from repro.sim.system import ServerSystem
 from repro.telemetry.manifest import canonical_json
 from repro.workloads.generator import JobSpec, Workload
 from repro.workloads.suites import evaluation_pool, get_benchmark
@@ -88,14 +90,14 @@ def observables(result):
     }
 
 
-def run_both(workload, make_controller, spec=SPEC2, **kwargs):
+def run_both(workload, make_policy, spec=SPEC2, **kwargs):
     fast = ServerSystem(
-        Chip(spec), workload, make_controller(), **kwargs
+        Chip(spec), workload, make_policy(), **kwargs
     ).run()
     oracle = ServerSystem(
         Chip(spec),
         workload,
-        make_controller(),
+        make_policy(),
         full_refresh=True,
         **kwargs,
     ).run()
@@ -106,14 +108,14 @@ class TestIncrementalEquivalence:
     @given(workloads())
     @settings(max_examples=20, deadline=None)
     def test_baseline_bit_identical(self, workload):
-        fast, oracle = run_both(workload, BaselineController)
+        fast, oracle = run_both(workload, BaselinePolicy)
         assert fast == oracle
 
     @given(workloads())
     @settings(max_examples=15, deadline=None)
     def test_safe_vmin_bit_identical(self, workload):
         fast, oracle = run_both(
-            workload, lambda: SafeVminController(SPEC2, policy=POLICY2)
+            workload, lambda: SafeVminPolicy(SPEC2, policy=POLICY2)
         )
         assert fast == oracle
 
@@ -144,7 +146,7 @@ class TestIncrementalEquivalence:
     @settings(max_examples=10, deadline=None)
     def test_fault_policy_off_bit_identical(self, workload):
         fast, oracle = run_both(
-            workload, BaselineController, fault_policy="off"
+            workload, BaselinePolicy, fault_policy="off"
         )
         assert fast == oracle
 
@@ -157,12 +159,12 @@ class TestIncrementalEquivalence:
         )
         monkeypatch.setenv("REPRO_SIM_FULL_REFRESH", "1")
         system = ServerSystem(
-            Chip(SPEC2), workload, BaselineController()
+            Chip(SPEC2), workload, BaselinePolicy()
         )
         assert system.full_refresh
         monkeypatch.setenv("REPRO_SIM_FULL_REFRESH", "0")
         system = ServerSystem(
-            Chip(SPEC2), workload, BaselineController()
+            Chip(SPEC2), workload, BaselinePolicy()
         )
         assert not system.full_refresh
 
@@ -202,8 +204,8 @@ class TestIncrementalDeterminism:
         assert counters[telemetry.names.SIM_REFRESH_FULL] > 0
 
 
-class _IdleTickController(Controller):
-    """No-op controller that keeps ticking past the last finish."""
+class _IdleTickPolicy(Policy):
+    """No-op policy that keeps ticking past the last finish."""
 
     monitor_period_s = 7.0
 
@@ -230,7 +232,7 @@ class TestIdleTailEnergy:
         system = ServerSystem(
             Chip(SPEC2),
             workload,
-            _IdleTickController(),
+            _IdleTickPolicy(),
             trace_period_s=None,
             fault_policy="off",
         )
@@ -267,7 +269,7 @@ class TestIdleTailEnergy:
         # Event times: ticks by repeated 7 s addition (as the handler
         # schedules them), the finish interleaved; the run ends at the
         # first tick at/after the finish.
-        period = _IdleTickController.monitor_period_s
+        period = _IdleTickPolicy.monitor_period_s
         times = []
         t = period
         while t < finish_s:

@@ -5,10 +5,10 @@ memory-intensive; the daemon retunes V/F in place without migrations.
 """
 
 
-from repro.core.daemon import OnlineMonitoringDaemon
+from repro.policies.daemon import OnlineMonitoringDaemon
 from repro.platform.chip import Chip
 from repro.platform.specs import xgene2_spec
-from repro.sim.controllers import BaselineController
+from repro.policies.governors import BaselinePolicy
 from repro.sim.process import WorkloadClass
 from repro.sim.system import ServerSystem
 from repro.workloads.generator import JobSpec, Workload
@@ -32,7 +32,7 @@ class TestPhasedExecution:
         system = ServerSystem(
             chip,
             workload_of(("setup-then-crunch", 1, 0.0)),
-            BaselineController(),
+            BaselinePolicy(),
         )
         result = system.run()
         assert result.processes[0].finish_s is not None
@@ -45,7 +45,7 @@ class TestPhasedExecution:
         def run(name):
             system = ServerSystem(
                 Chip(spec), workload_of((name, 1, 0.0)),
-                BaselineController(),
+                BaselinePolicy(),
             )
             return system.run().makespan_s
 
@@ -60,7 +60,7 @@ class TestPhasedExecution:
         system = ServerSystem(
             chip,
             workload_of(("setup-then-crunch", 1, 0.0)),
-            BaselineController(),
+            BaselinePolicy(),
         )
         proc = system.processes[0]
         samples = []

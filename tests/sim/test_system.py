@@ -6,8 +6,9 @@ from repro.errors import SimulationError, SystemCrash
 from repro.perf.model import job_duration_s
 from repro.platform.chip import Chip
 from repro.platform.specs import xgene2_spec
-from repro.sim.controllers import BaselineController
-from repro.sim.system import Controller, ServerSystem
+from repro.policies.governors import BaselinePolicy
+from repro.policies.surfaces import Action, Policy, PolicyEvent
+from repro.sim.system import ServerSystem
 from repro.workloads.generator import JobSpec, Workload
 from repro.workloads.suites import get_benchmark
 
@@ -24,12 +25,12 @@ def make_workload(jobs, duration=600.0, max_cores=8):
     )
 
 
-def run_system(jobs, controller=None, chip=None, **kwargs):
+def run_system(jobs, policy=None, chip=None, **kwargs):
     chip = chip or Chip(xgene2_spec())
     system = ServerSystem(
         chip,
         make_workload(jobs),
-        controller=controller or BaselineController(),
+        policy=policy or BaselinePolicy(),
         **kwargs,
     )
     return system.run(), system
@@ -83,7 +84,7 @@ class TestMultipleJobs:
 
     def test_all_jobs_complete(self, short_workload2, chip2):
         system = ServerSystem(
-            chip2, short_workload2, BaselineController()
+            chip2, short_workload2, BaselinePolicy()
         )
         result = system.run()
         assert all(p.finish_s is not None for p in result.processes)
@@ -98,7 +99,7 @@ class TestMultipleJobs:
 
     def test_makespan_covers_all(self, short_workload2, chip2):
         result = ServerSystem(
-            chip2, short_workload2, BaselineController()
+            chip2, short_workload2, BaselinePolicy()
         ).run()
         assert result.makespan_s == max(
             p.finish_s for p in result.processes
@@ -117,7 +118,7 @@ class TestTraces:
         system = ServerSystem(
             chip,
             make_workload([("EP", 2, 0.0)]),
-            BaselineController(),
+            BaselinePolicy(),
             trace_period_s=None,
         )
         assert system.run().trace is None
@@ -148,48 +149,45 @@ class TestPmuAccounting:
         assert sum(system.chip.pmu.droop_events.values()) > 0
 
 
+class _RecklessPolicy(BaselinePolicy):
+    """Baseline that settles the rail far below any safe Vmin at start."""
+
+    def decide(self, obs):
+        action = super().decide(obs)
+        if obs.event is PolicyEvent.START:
+            action.voltage_mv = 700
+        return action
+
+
 class TestVoltageAudit:
     def test_baseline_never_violates(self, short_workload2, chip2):
         result = ServerSystem(
-            chip2, short_workload2, BaselineController()
+            chip2, short_workload2, BaselinePolicy()
         ).run()
         assert result.violations == []
 
     def test_undervolted_chip_detected(self):
-        class Reckless(BaselineController):
-            def on_start(self):
-                super().on_start()
-                self.system.set_voltage(700)  # far below any safe Vmin
-
-        result, _ = run_system([("namd", 8, 0.0)], controller=Reckless())
+        result, _ = run_system(
+            [("namd", 8, 0.0)], policy=_RecklessPolicy()
+        )
         assert result.violations
         assert result.violations[0].depth_mv > 0
 
     def test_raise_policy_crashes(self):
-        class Reckless(BaselineController):
-            def on_start(self):
-                super().on_start()
-                self.system.set_voltage(700)
-
         chip = Chip(xgene2_spec())
         system = ServerSystem(
             chip,
             make_workload([("namd", 8, 0.0)]),
-            Reckless(),
+            _RecklessPolicy(),
             fault_policy="raise",
         )
         with pytest.raises(SystemCrash):
             system.run()
 
     def test_off_policy_ignores(self):
-        class Reckless(BaselineController):
-            def on_start(self):
-                super().on_start()
-                self.system.set_voltage(700)
-
         result, _ = run_system(
             [("namd", 8, 0.0)],
-            controller=Reckless(),
+            policy=_RecklessPolicy(),
             fault_policy="off",
         )
         assert result.violations == []
@@ -199,67 +197,95 @@ class TestVoltageAudit:
             ServerSystem(
                 chip2,
                 short_workload2,
-                BaselineController(),
+                BaselinePolicy(),
                 fault_policy="maybe",
             )
 
 
 class TestMigrationApi:
     def test_migrate_many_swaps(self):
-        class Swapper(BaselineController):
-            def on_process_started(self, process):
-                super().on_process_started(process)
-                running = self.system.running_processes()
+        class Swapper(BaselinePolicy):
+            def decide(self, obs):
+                action = super().decide(obs)
+                if obs.event is not PolicyEvent.STARTED:
+                    return action
+                running = obs.running_processes()
                 if len(running) == 2:
                     a, b = running
-                    self.system.migrate_many(
-                        {a: tuple(b.cores), b: tuple(a.cores)}
-                    )
+                    action.migrations = {
+                        a.pid: tuple(b.cores),
+                        b.pid: tuple(a.cores),
+                    }
+                return action
 
         result, _ = run_system(
-            [("namd", 2, 0.0), ("EP", 2, 0.0)], controller=Swapper()
+            [("namd", 2, 0.0), ("EP", 2, 0.0)], policy=Swapper()
         )
         assert all(p.finish_s is not None for p in result.processes)
         assert result.total_migrations == 2
 
     def test_migrate_to_busy_core_rejected(self):
-        class Bad(BaselineController):
-            def on_process_started(self, process):
-                super().on_process_started(process)
-                running = self.system.running_processes()
+        class Bad(BaselinePolicy):
+            def decide(self, obs):
+                action = super().decide(obs)
+                if obs.event is not PolicyEvent.STARTED:
+                    return action
+                running = obs.running_processes()
                 if len(running) == 2:
                     a, b = running
-                    self.system.migrate(a, b.cores)
+                    # One-sided move onto b's busy cores: not a swap.
+                    obs.system.migrate(a, b.cores)
+                return action
 
         with pytest.raises(SimulationError):
             run_system(
-                [("namd", 2, 0.0), ("EP", 2, 0.0)], controller=Bad()
+                [("namd", 2, 0.0), ("EP", 2, 0.0)], policy=Bad()
             )
+
+
+class TestAdmitCores:
+    def test_admit_cores_honoured(self):
+        class Pinner(Policy):
+            def __init__(self):
+                self.placed_on = None
+
+            def decide(self, obs):
+                if obs.event is PolicyEvent.ADMIT:
+                    return Action(admit_cores=(5,))
+                if obs.event is PolicyEvent.STARTED:
+                    self.placed_on = tuple(obs.process.cores)
+                return None
+
+        policy = Pinner()
+        result, _ = run_system([("namd", 1, 0.0)], policy=policy)
+        assert policy.placed_on == (5,)
+        assert result.processes[0].finish_s is not None
 
 
 class TestTicks:
     def test_ticks_delivered_while_running(self):
-        class Ticker(Controller):
+        class Ticker(Policy):
             monitor_period_s = 1.0
 
             def __init__(self):
-                super().__init__()
                 self.ticks = 0
 
-            def on_tick(self):
-                self.ticks += 1
+            def decide(self, obs):
+                if obs.event is PolicyEvent.TICK:
+                    self.ticks += 1
+                return None
 
-        controller = Ticker()
-        result, _ = run_system([("namd", 1, 0.0)], controller=controller)
+        policy = Ticker()
+        result, _ = run_system([("namd", 1, 0.0)], policy=policy)
         # namd solo at fmax runs ~150 s on X-Gene 2.
-        assert controller.ticks >= int(result.makespan_s) - 2
+        assert policy.ticks >= int(result.makespan_s) - 2
 
     def test_ticks_stop_after_work_done(self):
-        class Ticker(Controller):
+        class Ticker(Policy):
             monitor_period_s = 1.0
 
         result, system = run_system(
-            [("EP", 8, 0.0)], controller=Ticker()
+            [("EP", 8, 0.0)], policy=Ticker()
         )
         # Simulation terminates (run() returned) and time does not run
         # far past the last completion.

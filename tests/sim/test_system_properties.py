@@ -7,11 +7,11 @@ satisfy conservation and safety invariants regardless of composition.
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.daemon import OnlineMonitoringDaemon
+from repro.policies.daemon import OnlineMonitoringDaemon
 from repro.core.policy import VminPolicyTable
 from repro.platform.chip import Chip
 from repro.platform.specs import xgene2_spec
-from repro.sim.controllers import BaselineController
+from repro.policies.governors import BaselinePolicy
 from repro.sim.system import ServerSystem
 from repro.workloads.generator import JobSpec, Workload
 from repro.workloads.suites import evaluation_pool
@@ -46,7 +46,7 @@ class TestSystemInvariants:
     @settings(max_examples=25, deadline=None)
     def test_baseline_conservation(self, workload):
         system = ServerSystem(
-            Chip(SPEC2), workload, BaselineController()
+            Chip(SPEC2), workload, BaselinePolicy()
         )
         result = system.run()
         # Everything completes, in order, with positive energy.
@@ -82,7 +82,7 @@ class TestSystemInvariants:
     @settings(max_examples=15, deadline=None)
     def test_daemon_never_faster_than_baseline(self, workload):
         base = ServerSystem(
-            Chip(SPEC2), workload, BaselineController()
+            Chip(SPEC2), workload, BaselinePolicy()
         ).run()
         opt = ServerSystem(
             Chip(SPEC2),

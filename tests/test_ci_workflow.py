@@ -131,6 +131,17 @@ def test_platform_matrix_job_smokes_spec_file_platform(workflow):
     assert "timeout " in text
 
 
+def test_platform_matrix_job_smokes_policy_bundles(workflow):
+    job = workflow["jobs"]["platform-matrix"]
+    text = _steps_text(job)
+    # policy x platform: the registry-resolved ED²P bundle (whose
+    # operating points are derived, not hard-coded) must drive the full
+    # suite on the spec-file-only chip — cold and warm byte-identical.
+    assert "repro policy show ed2p --platform xgene3-xl" in text
+    assert "--platform xgene3-xl --policy ed2p" in text
+    assert "tests/policies" in text
+
+
 def test_bench_smoke_job_is_timeout_guarded(workflow):
     job = workflow["jobs"]["bench-smoke"]
     assert job["timeout-minutes"] <= 30

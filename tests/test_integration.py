@@ -12,7 +12,7 @@ from repro import (
 )
 from repro.core.monitoring import MonitoringDaemon, PerfLikeReader
 from repro.core.policy import VminPolicyTable
-from repro.sim.controllers import BaselineController
+from repro.policies.governors import BaselinePolicy
 from repro.sim.process import WorkloadClass
 from repro.vmin.characterize import VminCampaign
 from repro.allocation import Allocation
@@ -148,7 +148,7 @@ class TestDeterminism:
             300.0
         )
         base = ServerSystem(
-            Chip(spec), workload, BaselineController()
+            Chip(spec), workload, BaselinePolicy()
         ).run()
         opt = ServerSystem(
             Chip(spec), workload, OnlineMonitoringDaemon(spec)

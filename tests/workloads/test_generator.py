@@ -134,7 +134,8 @@ class TestSerialization:
     def test_roundtripped_workload_replays_identically(self):
         from repro.platform.chip import Chip
         from repro.platform.specs import xgene2_spec
-        from repro.sim import BaselineController, ServerSystem
+        from repro.policies.governors import BaselinePolicy
+        from repro.sim import ServerSystem
 
         original = ServerWorkloadGenerator(max_cores=8, seed=4).generate(
             300.0
@@ -142,10 +143,10 @@ class TestSerialization:
         restored = Workload.from_json(original.to_json())
         spec = xgene2_spec()
         a = ServerSystem(
-            Chip(spec), original, BaselineController()
+            Chip(spec), original, BaselinePolicy()
         ).run()
         b = ServerSystem(
-            Chip(spec), restored, BaselineController()
+            Chip(spec), restored, BaselinePolicy()
         ).run()
         assert a.energy_j == b.energy_j
         assert a.makespan_s == b.makespan_s

@@ -97,6 +97,7 @@ KNOWN_RULE_IDS = frozenset(
         "RL007",
         "RL008",
         "RL009",
+        "RL010",
     }
 )
 
@@ -213,6 +214,28 @@ PLATFORM_PACKAGE = "repro.platform"
 #: (RL007). Substring match, so derived names ("X-Gene 3 XL") and
 #: embedded uses (f-strings, table headers) are caught too.
 PLATFORM_NAME_LITERALS = ("X-Gene 2", "X-Gene 3")
+
+#: The control-plane package and its sanctioned actuation funnel
+#: (RL010). Policies *describe* hardware changes as Action values; the
+#: funnel is the one non-platform module allowed to invoke the
+#: SLIMpro/CPPC mutators, under reasoned suppressions.
+POLICIES_PACKAGE = "repro.policies"
+ACTUATION_FUNNEL = "repro.policies.actuation.apply_action"
+
+#: Method names that mutate hardware set-points (SLIMpro rail writes,
+#: CPPC frequency requests). Calling any of these outside
+#: ``repro.platform`` or the actuation funnel bypasses arbitration and
+#: the safe-Vmin clamp (RL010).
+ACTUATION_METHODS = frozenset(
+    {
+        "set_voltage",
+        "set_voltage_mv",
+        "set_pmd_frequency",
+        "set_all_frequencies",
+        "request",
+        "request_all",
+    }
+)
 
 #: The telemetry package and its central metric-name registry module
 #: (RL006). Call sites anywhere in the package must pass constants

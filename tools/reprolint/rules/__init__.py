@@ -7,6 +7,7 @@ from typing import Dict, List, Union
 from ..effects import EffectPropagation
 from ..engine import ProgramRule, ProjectRule, Rule
 from ..unitflow import UnitFlow
+from .actuation import ActuationFunnel
 from .determinism import Determinism
 from .hygiene import HotPathHygiene
 from .parity import KernelScalarParity
@@ -23,6 +24,7 @@ ALL_RULES: List[Rule] = [
     HotPathHygiene(),
     TelemetryNameDiscipline(),
     PlatformNameDiscipline(),
+    ActuationFunnel(),
 ]
 
 #: Cross-file project rules.
@@ -47,6 +49,7 @@ __all__ = [
     "PROGRAM_RULES",
     "PROJECT_RULES",
     "RULE_BY_ID",
+    "ActuationFunnel",
     "CacheKeyPurity",
     "Determinism",
     "EffectPropagation",
